@@ -1,0 +1,194 @@
+package abacus_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abacus"
+)
+
+func TestNewSystemValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  abacus.SystemConfig
+		ok   bool
+	}{
+		{"valid-pair", abacus.SystemConfig{Models: []abacus.Model{abacus.ResNet50, abacus.Bert}}, true},
+		{"valid-quad", abacus.SystemConfig{Models: []abacus.Model{abacus.ResNet101, abacus.ResNet152, abacus.VGG19, abacus.Bert}}, true},
+		{"empty", abacus.SystemConfig{}, false},
+		{"too-many", abacus.SystemConfig{Models: []abacus.Model{0, 1, 2, 3, 4}}, false},
+		{"bad-model", abacus.SystemConfig{Models: []abacus.Model{abacus.Model(99)}}, false},
+		{"bad-qos", abacus.SystemConfig{Models: []abacus.Model{abacus.ResNet50}, QoSFactor: 0.5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := abacus.NewSystem(c.cfg)
+			if (err == nil) != c.ok {
+				t.Errorf("NewSystem error = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestSystemServeDeterministic(t *testing.T) {
+	mk := func() abacus.Report {
+		sys, err := abacus.NewSystem(abacus.SystemConfig{
+			Models: []abacus.Model{abacus.ResNet50, abacus.InceptionV3},
+			Policy: abacus.PolicyAbacus,
+			Seed:   5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Serve(40, 3000)
+	}
+	a, b := mk(), mk()
+	if a.String() != b.String() {
+		t.Errorf("non-deterministic reports:\n%s\n%s", a, b)
+	}
+}
+
+func TestSystemQoSTargets(t *testing.T) {
+	sys, err := abacus.NewSystem(abacus.SystemConfig{
+		Models: []abacus.Model{abacus.ResNet152, abacus.Bert},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := sys.QoSTargets()
+	if len(targets) != 2 {
+		t.Fatalf("got %d targets", len(targets))
+	}
+	if targets[0] <= targets[1] {
+		t.Errorf("Res152 QoS %v should exceed Bert QoS %v", targets[0], targets[1])
+	}
+}
+
+func TestSystemAbacusVsFCFS(t *testing.T) {
+	run := func(p abacus.Policy) abacus.Report {
+		sys, err := abacus.NewSystem(abacus.SystemConfig{
+			Models: []abacus.Model{abacus.ResNet152, abacus.InceptionV3},
+			Policy: p,
+			Seed:   9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys.Serve(50, 5000)
+	}
+	ab, fcfs := run(abacus.PolicyAbacus), run(abacus.PolicyFCFS)
+	if ab.ViolationRatio() > fcfs.ViolationRatio()+0.01 {
+		t.Errorf("Abacus violations %.3f worse than FCFS %.3f", ab.ViolationRatio(), fcfs.ViolationRatio())
+	}
+	if ab.Goodput() < fcfs.Goodput()*0.98 {
+		t.Errorf("Abacus goodput %.1f below FCFS %.1f", ab.Goodput(), fcfs.Goodput())
+	}
+}
+
+func TestTrainPredictorIntegratesWithSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	models := []abacus.Model{abacus.ResNet50, abacus.InceptionV3}
+	p, err := abacus.TrainPredictor(models, abacus.TrainConfig{SamplesPerCombo: 150, MaxCoLocated: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := abacus.NewSystem(abacus.SystemConfig{
+		Models:    models,
+		Policy:    abacus.PolicyAbacus,
+		Predictor: p,
+		Seed:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := sys.Serve(40, 4000)
+	if report.Queries() == 0 {
+		t.Fatal("no queries served")
+	}
+	if report.ViolationRatio() > 0.2 {
+		t.Errorf("trained-predictor run violation ratio %.3f implausibly high", report.ViolationRatio())
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	m, err := abacus.ModelByName("Res152")
+	if err != nil || m != abacus.ResNet152 {
+		t.Errorf("ModelByName(Res152) = %v, %v", m, err)
+	}
+	if _, err := abacus.ModelByName("GPT7"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestModelsAndPolicies(t *testing.T) {
+	if len(abacus.Models()) != 7 {
+		t.Errorf("Models() has %d entries, want 7", len(abacus.Models()))
+	}
+	if len(abacus.Policies()) != 4 {
+		t.Errorf("Policies() has %d entries, want 4", len(abacus.Policies()))
+	}
+}
+
+func TestOracleIsUsable(t *testing.T) {
+	m := abacus.Oracle()
+	res152 := 30 // arbitrary early span
+	lat := m.Predict(abacus.Group{{Model: abacus.ResNet152, OpStart: 0, OpEnd: res152, Batch: 8}})
+	if lat <= 0 {
+		t.Errorf("oracle latency %v", lat)
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := abacus.RunExperiment("nope", true, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	ids := abacus.ExperimentIDs()
+	if len(ids) < 14 {
+		t.Errorf("only %d experiment ids", len(ids))
+	}
+	joined := strings.Join(ids, ",")
+	for _, want := range []string{"fig3", "fig14", "fig22", "overhead", "ablations"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing experiment %q in %v", want, ids)
+		}
+	}
+}
+
+func TestPredictorPersistenceViaFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is slow")
+	}
+	models := []abacus.Model{abacus.ResNet50, abacus.VGG16}
+	p, err := abacus.TrainPredictor(models, abacus.TrainConfig{SamplesPerCombo: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := abacus.LoadPredictor(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := abacus.Group{{Model: abacus.ResNet50, OpStart: 0, OpEnd: 50, Batch: 8}}
+	if loaded.Predict(g) != p.Predict(g) {
+		t.Error("loaded predictor disagrees with the original")
+	}
+}
+
+func TestNewSystemRejectsDuplicateModels(t *testing.T) {
+	_, err := abacus.NewSystem(abacus.SystemConfig{
+		Models: []abacus.Model{abacus.ResNet50, abacus.ResNet50},
+	})
+	if err == nil {
+		t.Error("duplicate model deployment accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Benchmarks regenerating every table and figure of the paper (one
+// Benchmark per artifact, backed by internal/experiments in quick mode), a
+// set of ablation benchmarks for the design choices DESIGN.md calls out,
+// and microbenchmarks of the hot paths (device events, predictions,
+// multi-way search).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks execute one full quick-mode experiment per iteration;
+// with the default -benchtime they run a single iteration each.
+package abacus_test
+
+import (
+	"io"
+	"testing"
+
+	"abacus"
+	"abacus/internal/dnn"
+	"abacus/internal/experiments"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/sched"
+	"abacus/internal/serving"
+	"abacus/internal/sim"
+	"abacus/internal/trace"
+)
+
+// benchExperiment runs one registered experiment in quick mode per
+// iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, experiments.Quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range tables {
+			t.Render(io.Discard)
+		}
+	}
+}
+
+func BenchmarkFig03MPSLatencyCDF(b *testing.B)     { benchExperiment(b, "fig3") }
+func BenchmarkFig07Determinism(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkFig10PredictorAccuracy(b *testing.B) { benchExperiment(b, "fig10") }
+func BenchmarkFig14PairwiseTail(b *testing.B)      { benchExperiment(b, "fig14") }
+func BenchmarkFig15QoSViolation(b *testing.B)      { benchExperiment(b, "fig15") }
+func BenchmarkFig16SmallDNNs(b *testing.B)         { benchExperiment(b, "fig16") }
+func BenchmarkFig17PeakThroughput(b *testing.B)    { benchExperiment(b, "fig17") }
+func BenchmarkFig18NWiseTail(b *testing.B)         { benchExperiment(b, "fig18") }
+func BenchmarkFig19NWiseThroughput(b *testing.B)   { benchExperiment(b, "fig19") }
+func BenchmarkFig20MIGTail(b *testing.B)           { benchExperiment(b, "fig20") }
+func BenchmarkFig21MIGThroughput(b *testing.B)     { benchExperiment(b, "fig21") }
+func BenchmarkFig22Cluster(b *testing.B)           { benchExperiment(b, "fig22") }
+func BenchmarkFig23MultiwaySearch(b *testing.B)    { benchExperiment(b, "fig23") }
+func BenchmarkOverhead(b *testing.B)               { benchExperiment(b, "overhead") }
+func BenchmarkAblationDesignChoices(b *testing.B)  { benchExperiment(b, "ablations") }
+
+// BenchmarkAblationPolicies measures one serving run per policy on the hot
+// pair, reporting goodput and violation metrics so policy regressions show
+// up in bench output.
+func BenchmarkAblationPolicies(b *testing.B) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	gen := trace.NewGenerator(models, 1)
+	arrivals := gen.Poisson(50, 4000)
+	for _, policy := range serving.AllPolicies() {
+		policy := policy
+		b.Run(policy.String(), func(b *testing.B) {
+			var res serving.Result
+			for i := 0; i < b.N; i++ {
+				res = serving.Run(serving.RunConfig{
+					Policy: policy, Models: models, Arrivals: arrivals,
+				})
+			}
+			b.ReportMetric(res.Goodput(), "goodput_r/s")
+			b.ReportMetric(100*res.ViolationRatio(), "violation_%")
+		})
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkDeviceContendedKernels measures the simulator's event
+// throughput with four contending kernel chains resident.
+func BenchmarkDeviceContendedKernels(b *testing.B) {
+	p := gpusim.A100Profile()
+	spec := gpusim.KernelSpec{Name: "k", Work: 0.05, SMFrac: 0.4, MemFrac: 0.3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		dev := gpusim.New(eng, p)
+		specs := make([]gpusim.KernelSpec, 64)
+		for j := range specs {
+			specs[j] = spec
+		}
+		for c := 0; c < 4; c++ {
+			dev.RunChain(specs, nil)
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkGroupMeasure measures one ground-truth operator-group
+// simulation — the unit of offline profiling cost.
+func BenchmarkGroupMeasure(b *testing.B) {
+	p := gpusim.A100Profile()
+	m50, m152 := dnn.Get(dnn.ResNet50), dnn.Get(dnn.ResNet152)
+	g := predictor.Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: m50.NumOps(), Batch: 16},
+		{Model: dnn.ResNet152, OpStart: 100, OpEnd: m152.NumOps(), Batch: 8},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		predictor.Measure(g, p, 0, 0)
+	}
+}
+
+// BenchmarkPredictorPredict measures one trained-MLP duration prediction —
+// the paper reports 0.06 ms per invocation (§7.7).
+func BenchmarkPredictorPredict(b *testing.B) {
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := predictor.Collect([]dnn.ModelID{dnn.ResNet50, dnn.VGG16}, 2, 100, cfg)
+	tc := predictor.DefaultTrainConfig()
+	tc.Epochs = 50
+	pred, err := predictor.Train(samples, predictor.NewCodec(), tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := samples[0].Group
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pred.Predict(g)
+	}
+}
+
+// BenchmarkMultiwaySearch measures one full group search with the
+// default 4 ways.
+func BenchmarkMultiwaySearch(b *testing.B) {
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := predictor.Collect([]dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}, 2, 100, cfg)
+	tc := predictor.DefaultTrainConfig()
+	tc.Epochs = 50
+	pred, err := predictor.Train(samples, predictor.NewCodec(), tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m152, mInc := dnn.Get(dnn.ResNet152), dnn.Get(dnn.InceptionV3)
+	base := predictor.Group{{Model: dnn.ResNet152, OpStart: 0, OpEnd: m152.NumOps(), Batch: 16}}
+	entry := predictor.Entry{Model: dnn.InceptionV3, OpStart: 0, Batch: 16}
+	budget := pred.Predict(base) * 1.2
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched.MaxFeasibleSpan(pred, base, entry, mInc.NumOps(), budget, 4)
+	}
+}
+
+// BenchmarkServeAbacusSecond measures one simulated second of Abacus
+// serving on the hot pair with the oracle model.
+func BenchmarkServeAbacusSecond(b *testing.B) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	gen := trace.NewGenerator(models, 1)
+	arrivals := gen.Poisson(50, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		serving.Run(serving.RunConfig{
+			Policy: serving.PolicyAbacus, Models: models, Arrivals: arrivals,
+		})
+	}
+}
+
+// BenchmarkSystemFacade measures the public API end to end.
+func BenchmarkSystemFacade(b *testing.B) {
+	sys, err := abacus.NewSystem(abacus.SystemConfig{
+		Models: []abacus.Model{abacus.ResNet50, abacus.Bert},
+		Policy: abacus.PolicyAbacus,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		sys.Serve(40, 1000)
+	}
+}

@@ -1,0 +1,75 @@
+// Command abacus-cluster replays a MAF-like trace on a simulated GPU
+// cluster, comparing Kubernetes routing + node-level Abacus against a
+// Clockwork-style central scheduler (§7.6, Figure 22).
+//
+// Usage:
+//
+//	abacus-cluster -nodes 4 -gpus 1 -qps 170 -minutes 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abacus/internal/cluster"
+	"abacus/internal/dnn"
+	"abacus/internal/trace"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster nodes")
+	gpus := flag.Int("gpus", 1, "GPUs per node")
+	qps := flag.Float64("qps", 170, "base offered load (diurnal + bursts applied on top)")
+	minutes := flag.Float64("minutes", 10, "trace duration")
+	qos := flag.Float64("qos", 100, "QoS target in ms")
+	seed := flag.Int64("seed", 1, "trace seed")
+	modelsFlag := flag.String("models", "Res101,Res152,VGG19,Bert", "quad-wise deployment")
+	csvPrefix := flag.String("csv", "", "write per-policy timelines to <prefix>-<policy>.csv")
+	flag.Parse()
+
+	var models []dnn.ModelID
+	for _, name := range strings.Split(*modelsFlag, ",") {
+		m, err := dnn.ModelIDByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
+			os.Exit(1)
+		}
+		models = append(models, m)
+	}
+
+	durationMS := *minutes * 60_000
+	gen := trace.NewGenerator(models, *seed)
+	arrivals := gen.MAF(trace.DefaultMAFConfig(*qps, durationMS, *seed))
+	fmt.Printf("replaying %d arrivals over %.0f minutes on %d GPUs\n",
+		len(arrivals), *minutes, *nodes**gpus)
+
+	for _, policy := range []cluster.Policy{cluster.KubeAbacus, cluster.Clockwork} {
+		res := cluster.Run(cluster.Config{
+			Policy:      policy,
+			Nodes:       *nodes,
+			GPUsPerNode: *gpus,
+			Models:      models,
+			QoS:         *qos,
+			Arrivals:    arrivals,
+		})
+		fmt.Printf("%-10s completed=%d dropped=%d tput=%.1f r/s p99=%.1f ms avg=%.1f ms %.1f J/query\n",
+			policy, res.Completed, res.Dropped, res.Throughput(durationMS),
+			res.P99Latency, res.AvgLatency, res.JoulesPerQuery())
+		if *csvPrefix != "" {
+			name := fmt.Sprintf("%s-%s.csv", *csvPrefix, policy)
+			f, err := os.Create(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
+				os.Exit(1)
+			}
+			if err := res.WriteTimelineCSV(f); err != nil {
+				fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Println("wrote", name)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command abacus-expr regenerates the paper's figures on the simulated
+// substrate and prints them as tables.
+//
+// Usage:
+//
+//	abacus-expr -exp fig14            # one figure at paper scale
+//	abacus-expr -exp all -quick       # every figure, reduced workloads
+//	abacus-expr -list                 # available experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"abacus"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all' (see -list)")
+	quick := flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range abacus.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = abacus.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := abacus.RunExperiment(id, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "abacus-expr:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,92 @@
+// Command abacus-models inspects the DNN model zoo: summary statistics per
+// model, per-operator cost profiles, and solo latencies on the simulated
+// device — the information the paper's offline profiling phase gathers.
+//
+// Usage:
+//
+//	abacus-models                          # zoo summary
+//	abacus-models -model Res152 -batch 32  # per-operator profile
+//	abacus-models -model Bert -batch 8 -seqlen 64 -csv ops.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+)
+
+func main() {
+	model := flag.String("model", "", "model to profile (empty: zoo summary)")
+	batch := flag.Int("batch", 32, "batch size")
+	seqlen := flag.Int("seqlen", 64, "sequence length (sequence models)")
+	csvOut := flag.String("csv", "", "write the per-operator profile as CSV")
+	flag.Parse()
+
+	p := gpusim.A100Profile()
+	if *model == "" {
+		summary(p)
+		return
+	}
+	id, err := dnn.ModelIDByName(*model)
+	if err != nil {
+		fail(err)
+	}
+	m := dnn.Get(id)
+	in := dnn.Input{Batch: *batch}
+	if m.IsSequence() {
+		in.SeqLen = *seqlen
+	}
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.WriteProfileCSV(f, in, p); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d operator rows to %s\n", m.NumOps(), *csvOut)
+		return
+	}
+
+	m.WriteProfile(os.Stdout, in, p)
+	s := m.Summarize(in, p)
+	fmt.Printf("\n%s @ %+v: %d ops, %.1f GFLOPs, %.1f MB traffic, %.2f ms exclusive, %.1f MB weights\n",
+		m.Name, in, s.Ops, s.FLOPs/1e9, s.Bytes/(1<<20), s.TotalMS, s.ParamBytes/(1<<20))
+	kinds := make([]dnn.OpKind, 0, len(s.KindMS))
+	for k := range s.KindMS {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return s.KindMS[kinds[i]] > s.KindMS[kinds[j]] })
+	for _, k := range kinds {
+		fmt.Printf("  %-14s %6.2f ms (%.0f%%)\n", k, s.KindMS[k], 100*s.KindMS[k]/s.TotalMS)
+	}
+}
+
+func summary(p gpusim.Profile) {
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tops\tparams(MB)\tGFLOPs(max)\tsolo min(ms)\tsolo max(ms)\tQoS 2x(ms)")
+	for _, m := range dnn.All() {
+		minIn, maxIn := m.MinInput(), m.MaxInput()
+		soloMin := dnn.SoloLatency(m, minIn, p)
+		soloMax := dnn.SoloLatency(m, maxIn, p)
+		transfer := dnn.TransferTime(m, maxIn, p)
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.2f\t%.2f\t%.1f\n",
+			m.Name, m.NumOps(), m.ParamBytes()/(1<<20), m.FLOPs(maxIn)/1e9,
+			soloMin, soloMax, 2*(soloMax+transfer))
+	}
+	tw.Flush()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "abacus-models:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command abacus-serve runs a single-GPU serving simulation: co-located
+// DNN services under one of the four schedulers, with Poisson load.
+//
+// Usage:
+//
+//	abacus-serve -models Res152,IncepV3 -policy Abacus -qps 50 -seconds 20
+//	abacus-serve -models Res101,Res152,VGG19,Bert -policy FCFS -qps 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abacus"
+	"abacus/internal/trace"
+)
+
+func main() {
+	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated model names (Res50,Res101,Res152,IncepV3,VGG16,VGG19,Bert)")
+	policyFlag := flag.String("policy", "Abacus", "scheduler: FCFS, SJF, EDF, or Abacus")
+	qps := flag.Float64("qps", 50, "aggregate offered load, queries per second")
+	seconds := flag.Float64("seconds", 20, "simulated duration")
+	seed := flag.Int64("seed", 1, "workload seed")
+	trained := flag.Bool("trained-predictor", false, "train the MLP predictor instead of using the exact oracle")
+	predictorFile := flag.String("predictor", "", "load a trained predictor (see abacus-train -model-out)")
+	samples := flag.Int("samples", 500, "profiling samples per combination when training")
+	csvOut := flag.String("csv", "", "write per-query records to this CSV file")
+	traceIn := flag.String("trace", "", "replay an arrival trace CSV instead of generating Poisson load")
+	traceOut := flag.String("trace-out", "", "write the generated arrival trace to this CSV file")
+	flag.Parse()
+
+	var models []abacus.Model
+	for _, name := range strings.Split(*modelsFlag, ",") {
+		m, err := abacus.ModelByName(strings.TrimSpace(name))
+		if err != nil {
+			fail(err)
+		}
+		models = append(models, m)
+	}
+
+	var policy abacus.Policy
+	switch strings.ToUpper(*policyFlag) {
+	case "FCFS":
+		policy = abacus.PolicyFCFS
+	case "SJF":
+		policy = abacus.PolicySJF
+	case "EDF":
+		policy = abacus.PolicyEDF
+	case "ABACUS":
+		policy = abacus.PolicyAbacus
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policyFlag))
+	}
+
+	cfg := abacus.SystemConfig{Models: models, Policy: policy, Seed: *seed}
+	if *predictorFile != "" {
+		f, err := os.Open(*predictorFile)
+		if err != nil {
+			fail(err)
+		}
+		p, err := abacus.LoadPredictor(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		cfg.Predictor = p
+	} else if *trained && policy == abacus.PolicyAbacus {
+		fmt.Fprintf(os.Stderr, "training predictor (%d samples per combination)...\n", *samples)
+		p, err := abacus.TrainPredictor(models, abacus.TrainConfig{
+			SamplesPerCombo: *samples,
+			MaxCoLocated:    len(models),
+			Seed:            *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		cfg.Predictor = p
+	}
+
+	sys, err := abacus.NewSystem(cfg)
+	if err != nil {
+		fail(err)
+	}
+	for i, q := range sys.QoSTargets() {
+		fmt.Printf("service %-8v QoS target %.1f ms\n", models[i], q)
+	}
+	gen := trace.NewGenerator(models, *seed)
+	var arrivals []trace.Arrival
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fail(err)
+		}
+		arrivals, err = trace.ReadCSV(f, len(models))
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replaying %d arrivals from %s\n", len(arrivals), *traceIn)
+	} else {
+		arrivals = gen.Poisson(*qps, *seconds*1000)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.WriteCSV(f, arrivals); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d arrivals to %s\n", len(arrivals), *traceOut)
+	}
+	report := sys.ServeArrivals(arrivals)
+	fmt.Println(report)
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := report.WriteCSV(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d query records to %s\n", report.Queries(), *csvOut)
+	}
+	fmt.Printf("p99 latency (all services): %.2f ms, SM utilization %.1f%%\n",
+		report.TailLatency(-1, 99), 100*report.Utilization())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "abacus-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+// Command abacus-train performs the offline phase of Abacus: it profiles
+// operator groups on the simulated device (instance-based sampling, §5.4),
+// optionally persists the samples, trains the three candidate duration
+// models (§5.5), and reports their held-out prediction errors.
+//
+// Usage:
+//
+//	abacus-train -models Res50,Res152 -samples 2000 -out samples.json
+//	abacus-train -in samples.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"abacus/internal/dnn"
+	"abacus/internal/predictor"
+)
+
+func main() {
+	modelsFlag := flag.String("models", "Res50,Res101,Res152,IncepV3,VGG16,VGG19,Bert", "comma-separated model names")
+	samplesPer := flag.Int("samples", 500, "samples per model combination")
+	maxK := flag.Int("maxk", 2, "largest co-location degree to sample (1..4)")
+	runs := flag.Int("runs", 3, "measurements per sample (paper: 100)")
+	seed := flag.Int64("seed", 1, "sampling/training seed")
+	out := flag.String("out", "", "write collected samples to this JSON file")
+	modelOut := flag.String("model-out", "", "write the trained MLP predictor to this JSON file")
+	in := flag.String("in", "", "load samples from this JSON file instead of collecting")
+	flag.Parse()
+
+	var samples []predictor.Sample
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		samples, err = predictor.LoadSamples(f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded %d samples from %s\n", len(samples), *in)
+	} else {
+		var models []dnn.ModelID
+		for _, name := range strings.Split(*modelsFlag, ",") {
+			m, err := dnn.ModelIDByName(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			models = append(models, m)
+		}
+		cfg := predictor.DefaultSamplerConfig()
+		cfg.Seed = *seed
+		cfg.Runs = *runs
+		for k := 1; k <= *maxK; k++ {
+			if k > len(models) {
+				break
+			}
+			ks := predictor.Collect(models, k, *samplesPer, cfg)
+			samples = append(samples, ks...)
+			fmt.Printf("collected %d samples at co-location degree %d\n", len(ks), k)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		if err := predictor.SaveSamples(f, samples); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(samples), *out)
+	}
+
+	codec := predictor.NewCodec()
+	for _, tech := range []predictor.Technique{
+		predictor.TechLinearRegression, predictor.TechSVR, predictor.TechMLP,
+	} {
+		cfg := predictor.TrainConfig{Technique: tech, Seed: *seed}
+		if tech == predictor.TechMLP {
+			cfg.LogTarget = true
+		}
+		_, mape, err := predictor.TrainEval(samples, codec, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-18s held-out MAPE %.2f%%\n", tech, 100*mape)
+	}
+
+	if *modelOut != "" {
+		cfg := predictor.DefaultTrainConfig()
+		cfg.Seed = *seed
+		p, err := predictor.Train(samples, codec, cfg)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*modelOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := p.Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote trained predictor to %s\n", *modelOut)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "abacus-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+// Autoscaling example (paper §7.9 future work): build an Abacus-aware
+// capacity plan — which services to co-locate per GPU and how much goodput
+// one node sustains — then drive fleet-sizing decisions from a bursty
+// diurnal load.
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"abacus/internal/autoscale"
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/trace"
+)
+
+func main() {
+	models := []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert}
+
+	fmt.Println("building the co-location plan (affinity analysis + capacity probe)...")
+	plan := autoscale.BuildPlan(models, 2, gpusim.A100Profile(), 1)
+	for i, g := range plan.Groups {
+		names := make([]string, len(g))
+		for j, m := range g {
+			names[j] = m.String()
+		}
+		fmt.Printf("  GPU %d serves: %s\n", i+1, strings.Join(names, " + "))
+	}
+	fmt.Printf("  estimated node capacity: %.0f queries/s\n\n", plan.CapacityQPS)
+
+	// Per-minute offered load from a 15-minute bursty diurnal trace.
+	gen := trace.NewGenerator(models, 2)
+	arrivals := gen.MAF(trace.DefaultMAFConfig(220, 15*60_000, 2))
+	offered := make([]float64, 15)
+	for _, a := range arrivals {
+		if b := int(a.Time / 60_000); b < len(offered) {
+			offered[b] += 1.0 / 60
+		}
+	}
+
+	planner, err := autoscale.NewPlanner(autoscale.PlannerConfig{Plan: plan})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minute  offered  forecast  nodes  decision    utilization")
+	for i, pt := range autoscale.PlanTimeline(planner, offered) {
+		bar := strings.Repeat("#", pt.Nodes)
+		fmt.Printf("%6d  %7.0f  %8.0f  %5d  %-10s  %5.0f%%  %s\n",
+			i, pt.OfferedQPS, pt.Forecast, pt.Nodes, pt.Decision, 100*pt.Utilization, bar)
+	}
+}

@@ -1,0 +1,36 @@
+// Cluster serving example: replay a bursty MAF-like trace on a small
+// simulated GPU cluster and compare node-level Abacus under Kubernetes-style
+// routing against a Clockwork-style central scheduler (paper §7.6).
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"fmt"
+
+	"abacus/internal/cluster"
+	"abacus/internal/dnn"
+	"abacus/internal/trace"
+)
+
+func main() {
+	models := []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert}
+	gen := trace.NewGenerator(models, 11)
+	arrivals := gen.MAF(trace.DefaultMAFConfig(150, 2*60_000, 11)) // 2 minutes
+
+	fmt.Printf("replaying %d arrivals on a 2-node x 2-GPU cluster, QoS 100 ms\n\n", len(arrivals))
+	for _, policy := range []cluster.Policy{cluster.KubeAbacus, cluster.Clockwork} {
+		res := cluster.Run(cluster.Config{
+			Policy:      policy,
+			Nodes:       2,
+			GPUsPerNode: 2,
+			Models:      models,
+			QoS:         100,
+			Arrivals:    arrivals,
+		})
+		fmt.Printf("%-10s completed=%5d dropped=%4d p99=%5.1f ms avg=%5.1f ms\n",
+			policy, res.Completed, res.Dropped, res.P99Latency, res.AvgLatency)
+	}
+	fmt.Println("\nAbacus absorbs the bursts by overlapping operators on every GPU;")
+	fmt.Println("Clockwork must drop queries its sequential GPUs cannot fit.")
+}

@@ -1,0 +1,60 @@
+// Latency-predictor walkthrough: profile operator groups on the simulated
+// device, train the paper's three candidate duration models, compare their
+// accuracy, and query the winner about a custom operator group.
+//
+//	go run ./examples/latency-predictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abacus"
+	"abacus/internal/dnn"
+	"abacus/internal/predictor"
+)
+
+func main() {
+	models := []abacus.Model{abacus.ResNet50, abacus.ResNet152, abacus.Bert}
+
+	// Offline profiling: instance-based sampling of operator groups
+	// (paper §5.4), measured on the simulated A100.
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Runs = 3
+	samples := predictor.Collect(models, 2, 400, cfg)
+	fmt.Printf("collected %d pairwise operator-group samples\n", len(samples))
+
+	codec := predictor.NewCodec()
+	for _, tech := range []predictor.Technique{
+		predictor.TechLinearRegression, predictor.TechSVR, predictor.TechMLP,
+	} {
+		tc := predictor.TrainConfig{Technique: tech, Seed: 1, LogTarget: tech == predictor.TechMLP}
+		_, mape, err := predictor.TrainEval(samples, codec, tc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s held-out MAPE %5.2f%%\n", tech, 100*mape)
+	}
+
+	// Train the production model on everything and query it.
+	p, err := predictor.Train(samples, codec, predictor.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res152 := dnn.Get(dnn.ResNet152)
+	group := abacus.Group{
+		{Model: abacus.ResNet152, OpStart: 0, OpEnd: res152.NumOps(), Batch: 16},
+		{Model: abacus.ResNet50, OpStart: 40, OpEnd: 120, Batch: 8},
+	}
+	predicted := p.Predict(group)
+	actual := predictor.Measure(group, cfg.Profile, 0, 0)
+	fmt.Printf("\ncustom group: predicted %.2f ms, simulated %.2f ms (%.1f%% error)\n",
+		predicted, actual, 100*abs(predicted-actual)/actual)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

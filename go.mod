@@ -1,0 +1,3 @@
+module abacus
+
+go 1.23

@@ -1,0 +1,204 @@
+// Package autoscale implements the paper's §7.9 future-work direction: an
+// Abacus-aware capacity planner for a DNN serving cluster. It combines
+//
+//   - an affinity-driven co-location plan (which services share a GPU,
+//     built on the §7.8 overlap-gain analysis in internal/predictor),
+//   - a per-node capacity estimate obtained by saturating one simulated
+//     node under that plan, and
+//   - a load forecaster (exponentially weighted moving average with a
+//     configurable safety headroom) that converts offered load into a node
+//     count, recommending scale-out/in decisions with hysteresis.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/serving"
+	"abacus/internal/trace"
+)
+
+// Plan is the co-location and capacity plan for one node class.
+type Plan struct {
+	// Groups assigns services to GPUs within a node; only same-group
+	// services are co-deployed (the §7.8 profiling-scalability scheme).
+	Groups [][]dnn.ModelID
+	// CapacityQPS is the estimated per-node goodput at the QoS target.
+	CapacityQPS float64
+}
+
+// BuildPlan partitions the services into co-location groups of size
+// groupSize and estimates the node's aggregate goodput capacity (one GPU
+// per group) by saturating each group's GPU in simulation.
+func BuildPlan(models []dnn.ModelID, groupSize int, p gpusim.Profile, seed int64) Plan {
+	groups := predictor.PartitionServices(models, groupSize, 16, p)
+	var capacity float64
+	for _, group := range groups {
+		capacity += estimateGroupCapacity(group, p, seed)
+	}
+	return Plan{Groups: groups, CapacityQPS: capacity}
+}
+
+// estimateGroupCapacity saturates one GPU running the group under Abacus
+// and returns its sustainable goodput.
+func estimateGroupCapacity(models []dnn.ModelID, p gpusim.Profile, seed int64) float64 {
+	gen := trace.NewGenerator(models, seed)
+	// Offer far more than a single GPU can serve; goodput saturates at
+	// capacity.
+	res := serving.Run(serving.RunConfig{
+		Policy:   serving.PolicyAbacus,
+		Models:   models,
+		Arrivals: gen.Poisson(300, 3000),
+		Profile:  p,
+	})
+	return res.Goodput()
+}
+
+// Decision is one autoscaling recommendation.
+type Decision int
+
+// The planner's possible recommendations.
+const (
+	Hold Decision = iota
+	ScaleOut
+	ScaleIn
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	switch d {
+	case Hold:
+		return "hold"
+	case ScaleOut:
+		return "scale-out"
+	case ScaleIn:
+		return "scale-in"
+	default:
+		return fmt.Sprintf("Decision(%d)", int(d))
+	}
+}
+
+// PlannerConfig tunes the controller.
+type PlannerConfig struct {
+	// Plan is the node plan whose capacity bounds each node.
+	Plan Plan
+	// Headroom is the target utilization ceiling (default 0.7: keep 30%
+	// slack for bursts, since QoS targets are tight).
+	Headroom float64
+	// Alpha is the EWMA smoothing factor for the load forecast
+	// (default 0.3).
+	Alpha float64
+	// MinNodes floors the fleet (default 1).
+	MinNodes int
+	// ScaleInSlack requires the fleet to be this much oversized before
+	// shrinking (default 1.3), providing hysteresis against burst-driven
+	// oscillation.
+	ScaleInSlack float64
+}
+
+// Planner tracks load and recommends fleet sizes.
+type Planner struct {
+	cfg      PlannerConfig
+	forecast float64
+	nodes    int
+	primed   bool
+}
+
+// NewPlanner builds a planner starting at the configured minimum fleet.
+func NewPlanner(cfg PlannerConfig) (*Planner, error) {
+	if cfg.Plan.CapacityQPS <= 0 {
+		return nil, fmt.Errorf("autoscale: plan capacity %v must be positive", cfg.Plan.CapacityQPS)
+	}
+	if cfg.Headroom == 0 {
+		cfg.Headroom = 0.7
+	}
+	if cfg.Headroom <= 0 || cfg.Headroom > 1 {
+		return nil, fmt.Errorf("autoscale: headroom %v out of (0,1]", cfg.Headroom)
+	}
+	if cfg.Alpha == 0 {
+		cfg.Alpha = 0.3
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("autoscale: alpha %v out of (0,1]", cfg.Alpha)
+	}
+	if cfg.MinNodes <= 0 {
+		cfg.MinNodes = 1
+	}
+	if cfg.ScaleInSlack == 0 {
+		cfg.ScaleInSlack = 1.3
+	}
+	if cfg.ScaleInSlack < 1 {
+		return nil, fmt.Errorf("autoscale: scale-in slack %v must be >= 1", cfg.ScaleInSlack)
+	}
+	return &Planner{cfg: cfg, nodes: cfg.MinNodes}, nil
+}
+
+// Nodes returns the current fleet size.
+func (p *Planner) Nodes() int { return p.nodes }
+
+// Forecast returns the smoothed load estimate in QPS.
+func (p *Planner) Forecast() float64 { return p.forecast }
+
+// Observe feeds one interval's offered load (QPS) and returns the
+// recommendation together with the new fleet size. The fleet is resized
+// immediately (the caller models provisioning delay if desired).
+func (p *Planner) Observe(offeredQPS float64) (Decision, int) {
+	if offeredQPS < 0 {
+		offeredQPS = 0
+	}
+	if !p.primed {
+		p.forecast = offeredQPS
+		p.primed = true
+	} else {
+		p.forecast = p.cfg.Alpha*offeredQPS + (1-p.cfg.Alpha)*p.forecast
+	}
+	// Spikes act immediately; the EWMA only smooths the way down.
+	demand := math.Max(p.forecast, offeredQPS)
+	usable := p.cfg.Plan.CapacityQPS * p.cfg.Headroom
+	need := int(math.Ceil(demand / usable))
+	if need < p.cfg.MinNodes {
+		need = p.cfg.MinNodes
+	}
+	switch {
+	case need > p.nodes:
+		p.nodes = need
+		return ScaleOut, p.nodes
+	case need < p.nodes && float64(p.nodes) > float64(need)*p.cfg.ScaleInSlack:
+		p.nodes = need
+		return ScaleIn, p.nodes
+	default:
+		return Hold, p.nodes
+	}
+}
+
+// TimelinePoint records one planning interval for reporting.
+type TimelinePoint struct {
+	OfferedQPS  float64
+	Forecast    float64
+	Nodes       int
+	Decision    Decision
+	Utilization float64 // offered / provisioned capacity
+}
+
+// PlanTimeline replays per-interval offered loads through the planner.
+func PlanTimeline(p *Planner, offered []float64) []TimelinePoint {
+	out := make([]TimelinePoint, 0, len(offered))
+	for _, qps := range offered {
+		d, n := p.Observe(qps)
+		util := 0.0
+		if cap := float64(n) * p.cfg.Plan.CapacityQPS; cap > 0 {
+			util = qps / cap
+		}
+		out = append(out, TimelinePoint{
+			OfferedQPS:  qps,
+			Forecast:    p.Forecast(),
+			Nodes:       n,
+			Decision:    d,
+			Utilization: util,
+		})
+	}
+	return out
+}

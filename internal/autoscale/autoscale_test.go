@@ -1,0 +1,156 @@
+package autoscale
+
+import (
+	"math"
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+)
+
+func testPlan() Plan {
+	return Plan{
+		Groups:      [][]dnn.ModelID{{dnn.ResNet152, dnn.InceptionV3}},
+		CapacityQPS: 100,
+	}
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  PlannerConfig
+		ok   bool
+	}{
+		{"defaults", PlannerConfig{Plan: testPlan()}, true},
+		{"no-capacity", PlannerConfig{}, false},
+		{"bad-headroom", PlannerConfig{Plan: testPlan(), Headroom: 1.5}, false},
+		{"bad-alpha", PlannerConfig{Plan: testPlan(), Alpha: -0.1}, false},
+		{"bad-slack", PlannerConfig{Plan: testPlan(), ScaleInSlack: 0.5}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewPlanner(c.cfg)
+			if (err == nil) != c.ok {
+				t.Errorf("err = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestPlannerScalesOutOnSpike(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan()}) // usable 70 QPS/node
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, n := p.Observe(50)
+	if d != Hold || n != 1 {
+		t.Errorf("at 50 QPS: %v, %d nodes; want hold at 1", d, n)
+	}
+	d, n = p.Observe(300)
+	if d != ScaleOut || n != 5 {
+		t.Errorf("spike to 300 QPS: %v, %d nodes; want scale-out to 5 (ceil(300/70))", d, n)
+	}
+}
+
+func TestPlannerScalesInWithHysteresis(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), Alpha: 1}) // no smoothing
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(300) // 5 nodes
+	// 260 QPS needs 4 nodes, but 5 <= 4×1.3 ⇒ hold.
+	if d, n := p.Observe(260); d != Hold || n != 5 {
+		t.Errorf("mild dip: %v, %d; want hold at 5", d, n)
+	}
+	// 130 QPS needs 2 nodes and 5 > 2×1.3 ⇒ shrink.
+	if d, n := p.Observe(130); d != ScaleIn || n != 2 {
+		t.Errorf("deep dip: %v, %d; want scale-in to 2", d, n)
+	}
+}
+
+func TestPlannerRespectsMinNodes(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), MinNodes: 3, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, n := p.Observe(0); n != 3 {
+		t.Errorf("fleet %d at zero load, want floor 3", n)
+	}
+}
+
+func TestPlannerEWMASmoothsDecline(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), Alpha: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(200)
+	p.Observe(10)
+	// Forecast should still remember the 200: 0.3·10 + 0.7·200 = 143.
+	if math.Abs(p.Forecast()-143) > 1e-9 {
+		t.Errorf("forecast %v, want 143", p.Forecast())
+	}
+}
+
+func TestPlanTimeline(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := []float64{50, 150, 150, 40, 40}
+	pts := PlanTimeline(p, offered)
+	if len(pts) != len(offered) {
+		t.Fatalf("timeline has %d points", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.OfferedQPS != offered[i] {
+			t.Errorf("point %d offered %v", i, pt.OfferedQPS)
+		}
+		if pt.Nodes < 1 {
+			t.Errorf("point %d nodes %d", i, pt.Nodes)
+		}
+		if pt.Utilization < 0 || pt.Utilization > 1.01 {
+			t.Errorf("point %d utilization %v out of range", i, pt.Utilization)
+		}
+	}
+	// The spike must have grown the fleet; the decline must have shrunk it.
+	if pts[1].Decision != ScaleOut {
+		t.Errorf("expected scale-out at the spike, got %v", pts[1].Decision)
+	}
+	if pts[len(pts)-1].Nodes >= pts[1].Nodes {
+		t.Errorf("fleet did not shrink after the decline: %d >= %d",
+			pts[len(pts)-1].Nodes, pts[1].Nodes)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Hold.String() != "hold" || ScaleOut.String() != "scale-out" || ScaleIn.String() != "scale-in" {
+		t.Error("decision names wrong")
+	}
+}
+
+func TestBuildPlanEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturating simulation is slow")
+	}
+	p := gpusim.A100Profile()
+	models := []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert}
+	plan := BuildPlan(models, 2, p, 1)
+	if len(plan.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(plan.Groups))
+	}
+	if plan.CapacityQPS <= 0 {
+		t.Fatalf("capacity %v", plan.CapacityQPS)
+	}
+	// All four models placed exactly once.
+	seen := map[dnn.ModelID]int{}
+	for _, g := range plan.Groups {
+		for _, m := range g {
+			seen[m]++
+		}
+	}
+	for _, m := range models {
+		if seen[m] != 1 {
+			t.Errorf("model %v placed %d times", m, seen[m])
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package cluster implements the paper's cluster-level evaluation (§7.6): a
+// multi-node, multi-GPU serving simulation comparing
+//
+//   - KubeAbacus: Kubernetes-style interference-unaware routing (least
+//     loaded GPU) with Abacus performing node-level scheduling on every GPU
+//     (all services co-deployed quad-wise), against
+//   - Clockwork: a central earliest-deadline-first controller that runs
+//     queries sequentially on each GPU with one active model instance at a
+//     time (activating a different model pays a weight-swap delay) and
+//     drops queries that cannot meet their deadline.
+//
+// The workload is a synthetic MAF-like trace (see internal/trace and
+// DESIGN.md for the substitution rationale).
+package cluster
+
+import (
+	"fmt"
+
+	"abacus/internal/dnn"
+	"abacus/internal/executor"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/sched"
+	"abacus/internal/sim"
+	"abacus/internal/stats"
+	"abacus/internal/trace"
+)
+
+// Policy selects the cluster scheduler.
+type Policy int
+
+// The two compared cluster schedulers.
+const (
+	KubeAbacus Policy = iota
+	Clockwork
+)
+
+// String returns the policy's display name.
+func (p Policy) String() string {
+	switch p {
+	case KubeAbacus:
+		return "Abacus"
+	case Clockwork:
+		return "Clockwork"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config describes a cluster run.
+type Config struct {
+	Policy       Policy
+	Nodes        int
+	GPUsPerNode  int
+	Models       []dnn.ModelID // deployed on every GPU
+	QoS          float64       // flat QoS target in ms (paper: 100)
+	Arrivals     []trace.Arrival
+	Profile      gpusim.Profile
+	Sched        sched.Config
+	Model        predictor.LatencyModel // Abacus duration model; nil → Oracle
+	BucketMS     float64                // timeline bucket (default 60 000 = 1 minute)
+	DrainMS      float64                // grace period after the last arrival
+	ReservedSwap bool                   // charge Clockwork's model swap (default behaviour; exposed for ablation)
+}
+
+// TimelinePoint is one bucket of the Figure 22 timeline.
+type TimelinePoint struct {
+	StartMS    float64
+	OfferedQPS float64
+	Throughput float64 // completed (non-dropped) queries per second
+	P99        float64 // over completions in the bucket
+	AvgLat     float64
+}
+
+// Result aggregates a cluster run.
+type Result struct {
+	Policy     Policy
+	Timeline   []TimelinePoint
+	Total      int
+	Completed  int
+	Dropped    int
+	Violations int
+	AvgLatency float64
+	P99Latency float64
+	// EnergyJoules is the fleet's energy under the linear utilization model
+	// (the §7.6 energy-efficiency observation).
+	EnergyJoules float64
+}
+
+// JoulesPerQuery returns fleet energy per completed query.
+func (r *Result) JoulesPerQuery() float64 {
+	if r.Completed == 0 {
+		return 0
+	}
+	return r.EnergyJoules / float64(r.Completed)
+}
+
+// Throughput returns mean completed queries per second over the run.
+func (r *Result) Throughput(durationMS float64) float64 {
+	if durationMS <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / (durationMS / 1000)
+}
+
+// Run executes the cluster simulation.
+func Run(cfg Config) Result {
+	if cfg.Nodes <= 0 || cfg.GPUsPerNode <= 0 {
+		panic("cluster: need at least one node and GPU")
+	}
+	if len(cfg.Models) == 0 {
+		panic("cluster: no models")
+	}
+	if cfg.QoS <= 0 {
+		panic("cluster: QoS target required")
+	}
+	profile := cfg.Profile
+	if profile.NumSMs == 0 {
+		profile = gpusim.A100Profile()
+	}
+	bucket := cfg.BucketMS
+	if bucket <= 0 {
+		bucket = 60_000
+	}
+
+	eng := sim.NewEngine()
+	numGPUs := cfg.Nodes * cfg.GPUsPerNode
+
+	services := make([]*sched.Service, len(cfg.Models))
+	for i, id := range cfg.Models {
+		services[i] = &sched.Service{ID: i, Model: id, QoS: cfg.QoS}
+	}
+
+	var records []record
+	sink := func(q *sched.Query) {
+		records = append(records, record{
+			arrival: q.Arrival,
+			finish:  q.Finish,
+			dropped: q.Dropped,
+			late:    q.Violated(),
+		})
+	}
+
+	var devices []*gpusim.Device
+	var route func(q *sched.Query)
+	switch cfg.Policy {
+	case KubeAbacus:
+		schedulers := make([]sched.Scheduler, numGPUs)
+		for i := range schedulers {
+			dev := gpusim.New(eng, profile)
+			devices = append(devices, dev)
+			exec := executor.New(dev, 0.02)
+			model := cfg.Model
+			if model == nil {
+				model = predictor.Oracle{Profile: profile}
+			}
+			schedCfg := cfg.Sched
+			if schedCfg == (sched.Config{}) {
+				schedCfg = sched.DefaultConfig()
+			}
+			schedulers[i] = sched.NewAbacus(eng, exec, model, schedCfg, sink)
+		}
+		// Kubernetes-style routing: least outstanding work, ties by index.
+		route = func(q *sched.Query) {
+			best := 0
+			for i := 1; i < numGPUs; i++ {
+				if schedulers[i].QueueLen() < schedulers[best].QueueLen() {
+					best = i
+				}
+			}
+			schedulers[best].Enqueue(q)
+		}
+	case Clockwork:
+		ctrl := newClockworkController(eng, profile, numGPUs, sink)
+		for _, g := range ctrl.gpus {
+			devices = append(devices, g.exec.Device())
+		}
+		route = ctrl.submit
+	default:
+		panic(fmt.Sprintf("cluster: unknown policy %d", cfg.Policy))
+	}
+
+	var id int64
+	var lastArrival float64
+	offered := map[int]int{}
+	for _, a := range cfg.Arrivals {
+		a := a
+		if a.Service < 0 || a.Service >= len(services) {
+			panic("cluster: arrival service out of range")
+		}
+		svc := services[a.Service]
+		id++
+		q := &sched.Query{ID: id, Service: svc, Input: a.Input, Arrival: a.Time}
+		transfer := dnn.TransferTime(dnn.Get(svc.Model), a.Input, profile)
+		eng.ScheduleAt(a.Time+transfer, func() { route(q) })
+		if a.Time > lastArrival {
+			lastArrival = a.Time
+		}
+		offered[int(a.Time/bucket)]++
+	}
+
+	drain := cfg.DrainMS
+	if drain <= 0 {
+		drain = 10 * cfg.QoS
+	}
+	eng.RunUntil(lastArrival + drain)
+
+	res := summarize(cfg.Policy, records, offered, bucket)
+	em := gpusim.A100Energy()
+	for _, dev := range devices {
+		res.EnergyJoules += dev.Energy(em)
+	}
+	return res
+}
+
+type record struct {
+	arrival sim.Time
+	finish  sim.Time
+	dropped bool
+	late    bool
+}
+
+func summarize(policy Policy, records []record, offered map[int]int, bucket float64) Result {
+	res := Result{Policy: policy, Total: len(records)}
+	perBucket := map[int][]float64{}
+	var all []float64
+	maxBucket := 0
+	for b := range offered {
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	for _, r := range records {
+		if r.late {
+			res.Violations++
+		}
+		if r.dropped {
+			res.Dropped++
+			continue
+		}
+		res.Completed++
+		lat := r.finish - r.arrival
+		all = append(all, lat)
+		b := int(r.arrival / bucket)
+		perBucket[b] = append(perBucket[b], lat)
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	if len(all) > 0 {
+		res.AvgLatency = stats.Mean(all)
+		res.P99Latency = stats.Percentile(all, 99)
+	}
+	for b := 0; b <= maxBucket; b++ {
+		pt := TimelinePoint{
+			StartMS:    float64(b) * bucket,
+			OfferedQPS: float64(offered[b]) / (bucket / 1000),
+			Throughput: float64(len(perBucket[b])) / (bucket / 1000),
+		}
+		if lats := perBucket[b]; len(lats) > 0 {
+			pt.P99 = stats.Percentile(lats, 99)
+			pt.AvgLat = stats.Mean(lats)
+		}
+		res.Timeline = append(res.Timeline, pt)
+	}
+	return res
+}

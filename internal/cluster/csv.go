@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteTimelineCSV emits the per-bucket Figure 22 series for external
+// plotting.
+func (r *Result) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_ms", "offered_qps", "throughput_qps", "p99_ms", "avg_ms"}); err != nil {
+		return err
+	}
+	for _, pt := range r.Timeline {
+		row := []string{
+			fmt.Sprintf("%.0f", pt.StartMS),
+			fmt.Sprintf("%.3f", pt.OfferedQPS),
+			fmt.Sprintf("%.3f", pt.Throughput),
+			fmt.Sprintf("%.3f", pt.P99),
+			fmt.Sprintf("%.3f", pt.AvgLat),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/sched"
+	"abacus/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	rt, err := New(Config{Models: []dnn.ModelID{dnn.ResNet50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Engine() == nil || rt.Device() == nil || rt.Executor() == nil || rt.Controller() == nil {
+		t.Error("runtime components missing")
+	}
+	if len(rt.Services()) != 1 {
+		t.Errorf("services = %d, want 1", len(rt.Services()))
+	}
+}
+
+func TestSubmitAndDrain(t *testing.T) {
+	var results []*sched.Query
+	rt, err := New(Config{
+		Models:   []dnn.ModelID{dnn.ResNet50, dnn.Bert},
+		OnResult: func(q *sched.Query) { results = append(results, q) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := rt.Submit(0, dnn.Input{Batch: 8}, 0)
+	q2 := rt.Submit(1, dnn.Input{Batch: 8, SeqLen: 32}, 1)
+	rt.Drain()
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, q := range []*sched.Query{q1, q2} {
+		if q.Dropped {
+			t.Errorf("query %d dropped on an idle device", q.ID)
+		}
+		if q.Finish <= q.Arrival {
+			t.Errorf("query %d finish %v <= arrival %v", q.ID, q.Finish, q.Arrival)
+		}
+	}
+}
+
+func TestSubmitUnknownServicePanics(t *testing.T) {
+	rt, err := New(Config{Models: []dnn.ModelID{dnn.ResNet50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	rt.Submit(3, dnn.Input{Batch: 8}, 0)
+}
+
+func TestRuntimeOnPartitionedDevice(t *testing.T) {
+	eng := sim.NewEngine()
+	full := gpusim.New(eng, gpusim.A100Profile())
+	part := full.Partition(0.5, 0.5)
+	var done int
+	rt, err := New(Config{
+		Models:   []dnn.ModelID{dnn.ResNet50},
+		Device:   part,
+		OnResult: func(q *sched.Query) { done++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Engine() != eng {
+		t.Error("runtime did not adopt the partition's engine")
+	}
+	rt.Submit(0, dnn.Input{Batch: 16}, 0)
+	rt.Drain()
+	if done != 1 {
+		t.Errorf("done = %d", done)
+	}
+}
+
+func TestRunUntilAdvancesIncrementally(t *testing.T) {
+	var results int
+	rt, err := New(Config{
+		Models:   []dnn.ModelID{dnn.ResNet50},
+		OnResult: func(*sched.Query) { results++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Submit(0, dnn.Input{Batch: 4}, 0)
+	rt.Submit(0, dnn.Input{Batch: 4}, 100)
+	rt.RunUntil(50)
+	if results != 1 {
+		t.Errorf("results at t=50: %d, want 1", results)
+	}
+	rt.RunUntil(300)
+	if results != 2 {
+		t.Errorf("results at t=300: %d, want 2", results)
+	}
+}
+
+func TestNewRejectsDuplicateModels(t *testing.T) {
+	if _, err := New(Config{Models: []dnn.ModelID{dnn.Bert, dnn.Bert}}); err == nil {
+		t.Error("duplicate model deployment accepted")
+	}
+}

@@ -1,0 +1,139 @@
+package dnn
+
+import "fmt"
+
+// buildBert constructs BERT-base (12 layers, hidden 768, 12 heads, FFN
+// 3072). Costs are per-sample polynomials in the sequence length: dense,
+// norm, and elementwise operators scale linearly with tokens; attention
+// score/context operators scale quadratically (the paper's seqlen feature,
+// Figure 8, exists exactly because of this input sensitivity).
+func buildBert(name string) *Model {
+	const (
+		layers = 12
+		hidden = 768
+		heads  = 12
+		ffn    = 3072
+		vocab  = 30522
+	)
+	g := &graph{}
+
+	// Token + position embedding lookup, then layernorm.
+	embedParams := float64((vocab+512)*hidden) * bytesPerElem
+	cur := g.add(Op{
+		Kind:       Embedding,
+		Name:       name + "/embed",
+		FLOPs:      Cost{C1: float64(hidden)},
+		Bytes:      Cost{C1: 2 * float64(hidden) * bytesPerElem},
+		OutElems:   Cost{C1: float64(hidden)},
+		ParamBytes: embedParams,
+	})
+	cur = g.add(seqLayerNorm(name+"/embed/ln", hidden), cur)
+
+	for l := 0; l < layers; l++ {
+		prefix := fmt.Sprintf("%s/l%d", name, l)
+
+		qkv := g.add(seqDense(prefix+"/qkv", hidden, 3*hidden), cur)
+		scores := g.add(attnScores(prefix+"/scores", hidden, heads), qkv)
+		sm := g.add(attnSoftmax(prefix+"/softmax", heads), scores)
+		ctx := g.add(attnContext(prefix+"/context", hidden, heads), sm, qkv)
+		proj := g.add(seqDense(prefix+"/proj", hidden, hidden), ctx)
+		add1 := g.add(seqAdd(prefix+"/add1", hidden), proj, cur)
+		ln1 := g.add(seqLayerNorm(prefix+"/ln1", hidden), add1)
+
+		f1 := g.add(seqDense(prefix+"/ffn1", hidden, ffn), ln1)
+		gl := g.add(seqGELU(prefix+"/gelu", ffn), f1)
+		f2 := g.add(seqDense(prefix+"/ffn2", ffn, hidden), gl)
+		add2 := g.add(seqAdd(prefix+"/add2", hidden), f2, ln1)
+		cur = g.add(seqLayerNorm(prefix+"/ln2", hidden), add2)
+	}
+
+	// Pooler + classifier head on the [CLS] token.
+	pool := g.add(denseOp(name+"/pooler", hidden, hidden), cur)
+	g.add(denseOp(name+"/classifier", hidden, 2), pool)
+
+	m := g.build(name)
+	m.InputBytesPerSample = Cost{C1: 8} // token + segment ids
+	m.MinBatch, m.MaxBatch = 4, 32
+	m.SeqLens = []int{8, 16, 32, 64}
+	return m
+}
+
+// seqDense is a per-token fully connected layer in→out.
+func seqDense(name string, inF, outF int) Op {
+	weights := float64(inF*outF) * bytesPerElem
+	return Op{
+		Kind:       Dense,
+		Name:       name,
+		FLOPs:      Cost{C1: 2 * float64(inF) * float64(outF)},
+		Bytes:      Cost{C0: weights / weightReuse, C1: float64(inF+outF) * bytesPerElem},
+		OutElems:   Cost{C1: float64(outF)},
+		ParamBytes: weights,
+	}
+}
+
+// attnScores is Q·Kᵀ: per sample 2·seq²·hidden FLOPs, seq²·heads outputs.
+func attnScores(name string, hidden, heads int) Op {
+	return Op{
+		Kind:     MatMul,
+		Name:     name,
+		FLOPs:    Cost{C2: 2 * float64(hidden)},
+		Bytes:    Cost{C1: 2 * float64(hidden) * bytesPerElem, C2: float64(heads) * bytesPerElem},
+		OutElems: Cost{C2: float64(heads)},
+	}
+}
+
+// attnSoftmax normalizes the seq²·heads score matrix.
+func attnSoftmax(name string, heads int) Op {
+	return Op{
+		Kind:     Softmax,
+		Name:     name,
+		FLOPs:    Cost{C2: 5 * float64(heads)},
+		Bytes:    Cost{C2: 2 * float64(heads) * bytesPerElem},
+		OutElems: Cost{C2: float64(heads)},
+	}
+}
+
+// attnContext is scores·V: per sample 2·seq²·hidden FLOPs, seq·hidden outputs.
+func attnContext(name string, hidden, heads int) Op {
+	return Op{
+		Kind:     MatMul,
+		Name:     name,
+		FLOPs:    Cost{C2: 2 * float64(hidden)},
+		Bytes:    Cost{C1: 2 * float64(hidden) * bytesPerElem, C2: float64(heads) * bytesPerElem},
+		OutElems: Cost{C1: float64(hidden)},
+	}
+}
+
+// seqLayerNorm normalizes each token's hidden vector.
+func seqLayerNorm(name string, width int) Op {
+	return Op{
+		Kind:       LayerNorm,
+		Name:       name,
+		FLOPs:      Cost{C1: 5 * float64(width)},
+		Bytes:      Cost{C1: 2 * float64(width) * bytesPerElem},
+		OutElems:   Cost{C1: float64(width)},
+		ParamBytes: float64(2*width) * bytesPerElem,
+	}
+}
+
+// seqAdd is a per-token residual addition.
+func seqAdd(name string, width int) Op {
+	return Op{
+		Kind:     Add,
+		Name:     name,
+		FLOPs:    Cost{C1: float64(width)},
+		Bytes:    Cost{C1: 3 * float64(width) * bytesPerElem},
+		OutElems: Cost{C1: float64(width)},
+	}
+}
+
+// seqGELU is a per-token GELU activation.
+func seqGELU(name string, width int) Op {
+	return Op{
+		Kind:     GELU,
+		Name:     name,
+		FLOPs:    Cost{C1: 8 * float64(width)},
+		Bytes:    Cost{C1: 2 * float64(width) * bytesPerElem},
+		OutElems: Cost{C1: float64(width)},
+	}
+}

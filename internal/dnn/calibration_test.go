@@ -1,0 +1,32 @@
+package dnn
+
+import (
+	"testing"
+
+	"abacus/internal/gpusim"
+)
+
+// TestCalibrationReport prints the zoo's key figures: operator counts, FLOPs
+// and solo latencies at min/max inputs, model sizes. Run with -v to inspect.
+// The assertions pin the paper's regime: solo latencies of tens of
+// milliseconds at batch 32 and a ResNet-152 around the paper's 24 ms.
+func TestCalibrationReport(t *testing.T) {
+	p := gpusim.A100Profile()
+	for _, m := range All() {
+		maxIn, minIn := m.MaxInput(), m.MinInput()
+		maxLat := SoloLatency(m, maxIn, p)
+		minLat := SoloLatency(m, minIn, p)
+		t.Logf("%-8s ops=%4d params=%6.1fMB flops(max)=%7.1fG solo(min)=%7.3fms solo(max)=%7.3fms",
+			m.Name, m.NumOps(), m.ParamBytes()/(1<<20), m.FLOPs(maxIn)/1e9, minLat, maxLat)
+		if maxLat < 5 || maxLat > 120 {
+			t.Errorf("%s: max-input solo latency %.2fms outside the paper's regime [5,120]", m.Name, maxLat)
+		}
+		if minLat >= maxLat {
+			t.Errorf("%s: min-input latency %.2f >= max-input latency %.2f", m.Name, minLat, maxLat)
+		}
+	}
+	res152 := SoloLatency(Get(ResNet152), Input{Batch: 32}, p)
+	if res152 < 12 || res152 > 48 {
+		t.Errorf("ResNet152 bs32 solo latency %.2fms; paper reports ~24ms", res152)
+	}
+}

@@ -1,0 +1,160 @@
+package dnn
+
+import "fmt"
+
+// tensor tracks the activation shape flowing through a CV model builder.
+type tensor struct {
+	C, H, W int
+}
+
+func (t tensor) elems() float64 { return float64(t.C * t.H * t.W) }
+
+// weightReuse is the effective on-chip reuse factor of weights: DRAM weight
+// traffic per sample is weights/weightReuse (weights are shared across the
+// batch and cached across tiles).
+const weightReuse = 16
+
+// bytesPerElem is fp32 activation storage.
+const bytesPerElem = 4
+
+// convOut computes the output spatial size with SAME-style padding.
+func convOut(in, stride int) int {
+	return (in + stride - 1) / stride
+}
+
+// convOp builds a Conv2D (kh×kw kernel, given stride, SAME padding) and
+// returns the op plus the output tensor shape.
+func convOp(name string, in tensor, outC, kh, kw, stride int) (Op, tensor) {
+	out := tensor{C: outC, H: convOut(in.H, stride), W: convOut(in.W, stride)}
+	weights := float64(kh*kw*in.C*outC) * bytesPerElem
+	return Op{
+		Kind:       Conv2D,
+		Name:       name,
+		FLOPs:      constCost(2 * float64(kh*kw*in.C) * out.elems()),
+		Bytes:      constCost((in.elems()+out.elems())*bytesPerElem + weights/weightReuse),
+		OutElems:   constCost(out.elems()),
+		ParamBytes: weights,
+	}, out
+}
+
+// bnOp builds an inference-mode batch normalization over t.
+func bnOp(name string, t tensor) Op {
+	return Op{
+		Kind:       BatchNorm,
+		Name:       name,
+		FLOPs:      constCost(2 * t.elems()),
+		Bytes:      constCost(2 * t.elems() * bytesPerElem),
+		OutElems:   constCost(t.elems()),
+		ParamBytes: float64(4*t.C) * bytesPerElem,
+	}
+}
+
+// reluOp builds an elementwise ReLU over t.
+func reluOp(name string, t tensor) Op {
+	return Op{
+		Kind:     ReLU,
+		Name:     name,
+		FLOPs:    constCost(t.elems()),
+		Bytes:    constCost(2 * t.elems() * bytesPerElem),
+		OutElems: constCost(t.elems()),
+	}
+}
+
+// addOp builds an elementwise residual addition over t.
+func addOp(name string, t tensor) Op {
+	return Op{
+		Kind:     Add,
+		Name:     name,
+		FLOPs:    constCost(t.elems()),
+		Bytes:    constCost(3 * t.elems() * bytesPerElem),
+		OutElems: constCost(t.elems()),
+	}
+}
+
+// poolOp builds a k×k max or average pool with the given stride.
+func poolOp(kind OpKind, name string, in tensor, k, stride int) (Op, tensor) {
+	out := tensor{C: in.C, H: convOut(in.H, stride), W: convOut(in.W, stride)}
+	return Op{
+		Kind:     kind,
+		Name:     name,
+		FLOPs:    constCost(float64(k*k) * out.elems()),
+		Bytes:    constCost((in.elems() + out.elems()) * bytesPerElem),
+		OutElems: constCost(out.elems()),
+	}, out
+}
+
+// globalPoolOp reduces H×W to 1×1.
+func globalPoolOp(name string, in tensor) (Op, tensor) {
+	out := tensor{C: in.C, H: 1, W: 1}
+	return Op{
+		Kind:     GlobalAvgPool,
+		Name:     name,
+		FLOPs:    constCost(in.elems()),
+		Bytes:    constCost((in.elems() + out.elems()) * bytesPerElem),
+		OutElems: constCost(out.elems()),
+	}, out
+}
+
+// denseOp builds a fully connected layer in→out (per sample).
+func denseOp(name string, inF, outF int) Op {
+	weights := float64(inF*outF) * bytesPerElem
+	return Op{
+		Kind:       Dense,
+		Name:       name,
+		FLOPs:      constCost(2 * float64(inF) * float64(outF)),
+		Bytes:      constCost(float64(inF+outF)*bytesPerElem + weights/weightReuse),
+		OutElems:   constCost(float64(outF)),
+		ParamBytes: weights,
+	}
+}
+
+// concatOp builds a channel concatenation of the given tensors (all same
+// H×W) and returns the op plus the concatenated shape.
+func concatOp(name string, ts ...tensor) (Op, tensor) {
+	if len(ts) == 0 {
+		panic("dnn: concat of nothing")
+	}
+	out := tensor{C: 0, H: ts[0].H, W: ts[0].W}
+	for _, t := range ts {
+		if t.H != out.H || t.W != out.W {
+			panic(fmt.Sprintf("dnn: concat shape mismatch %dx%d vs %dx%d", t.H, t.W, out.H, out.W))
+		}
+		out.C += t.C
+	}
+	return Op{
+		Kind:     Concat,
+		Name:     name,
+		FLOPs:    constCost(out.elems()),
+		Bytes:    constCost(2 * out.elems() * bytesPerElem),
+		OutElems: constCost(out.elems()),
+	}, out
+}
+
+// cvInputBytes is the transfer cost of a 3×res×res fp32 image per sample.
+func cvInputBytes(res int) Cost {
+	return constCost(float64(3*res*res) * bytesPerElem)
+}
+
+// finishCV stamps the batch limits and input size shared by all CV models
+// in Table 1.
+func finishCV(m *Model, res int) *Model {
+	m.InputBytesPerSample = cvInputBytes(res)
+	m.MinBatch, m.MaxBatch = 4, 32
+	return m
+}
+
+// convBNReLU appends conv→bn→relu to g and returns the relu's index and the
+// output shape. dep is the operator feeding the convolution; pass a negative
+// dep for the model's input operator.
+func convBNReLU(g *graph, prefix string, dep int, in tensor, outC, kh, kw, stride int) (int, tensor) {
+	conv, out := convOp(prefix+"/conv", in, outC, kh, kw, stride)
+	var c int
+	if dep < 0 {
+		c = g.add(conv)
+	} else {
+		c = g.add(conv, dep)
+	}
+	b := g.add(bnOp(prefix+"/bn", out), c)
+	r := g.add(reluOp(prefix+"/relu", out), b)
+	return r, out
+}

@@ -1,0 +1,105 @@
+package dnn
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"abacus/internal/gpusim"
+)
+
+// OpProfile is one operator's cost breakdown at a concrete input — the
+// inspection artifact behind the cost model (what nvprof would report on
+// the paper's testbed).
+type OpProfile struct {
+	Index   int
+	Name    string
+	Kind    OpKind
+	FLOPs   float64
+	Bytes   float64
+	WorkMS  float64
+	SMFrac  float64
+	MemFrac float64
+}
+
+// Profile returns the per-operator cost breakdown of the model at the
+// input.
+func (m *Model) Profile(in Input, p gpusim.Profile) []OpProfile {
+	out := make([]OpProfile, 0, len(m.Ops))
+	for i := range m.Ops {
+		op := &m.Ops[i]
+		spec := KernelFor(op, in, p)
+		out = append(out, OpProfile{
+			Index:   i,
+			Name:    op.Name,
+			Kind:    op.Kind,
+			FLOPs:   op.FLOPs.Eval(in),
+			Bytes:   op.Bytes.Eval(in),
+			WorkMS:  spec.Work,
+			SMFrac:  spec.SMFrac,
+			MemFrac: spec.MemFrac,
+		})
+	}
+	return out
+}
+
+// Summary aggregates a model's profile.
+type Summary struct {
+	Ops        int
+	FLOPs      float64
+	Bytes      float64
+	TotalMS    float64 // exclusive execution incl. launch gaps
+	ParamBytes float64
+	// KindMS breaks execution time down by operator kind.
+	KindMS map[OpKind]float64
+}
+
+// Summarize aggregates the model's cost at the input.
+func (m *Model) Summarize(in Input, p gpusim.Profile) Summary {
+	s := Summary{Ops: m.NumOps(), ParamBytes: m.ParamBytes(), KindMS: map[OpKind]float64{}}
+	for _, prof := range m.Profile(in, p) {
+		s.FLOPs += prof.FLOPs
+		s.Bytes += prof.Bytes
+		s.TotalMS += prof.WorkMS + p.LaunchGap
+		s.KindMS[prof.Kind] += prof.WorkMS + p.LaunchGap
+	}
+	return s
+}
+
+// WriteProfile renders the per-operator table in a human-readable layout.
+func (m *Model) WriteProfile(w io.Writer, in Input, p gpusim.Profile) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "#\tname\tkind\tGFLOPs\tMB\twork(ms)\tSM\tmemBW\n")
+	for _, prof := range m.Profile(in, p) {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%.3f\t%.2f\t%.4f\t%.2f\t%.2f\n",
+			prof.Index, prof.Name, prof.Kind,
+			prof.FLOPs/1e9, prof.Bytes/(1<<20), prof.WorkMS, prof.SMFrac, prof.MemFrac)
+	}
+	tw.Flush()
+}
+
+// WriteProfileCSV emits the per-operator table as CSV for external tooling.
+func (m *Model) WriteProfileCSV(w io.Writer, in Input, p gpusim.Profile) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "name", "kind", "flops", "bytes", "work_ms", "sm_frac", "mem_frac"}); err != nil {
+		return err
+	}
+	for _, prof := range m.Profile(in, p) {
+		row := []string{
+			fmt.Sprintf("%d", prof.Index),
+			prof.Name,
+			prof.Kind.String(),
+			fmt.Sprintf("%.0f", prof.FLOPs),
+			fmt.Sprintf("%.0f", prof.Bytes),
+			fmt.Sprintf("%.6f", prof.WorkMS),
+			fmt.Sprintf("%.4f", prof.SMFrac),
+			fmt.Sprintf("%.4f", prof.MemFrac),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,82 @@
+package dnn
+
+import (
+	"abacus/internal/gpusim"
+	"abacus/internal/sim"
+)
+
+// This file executes a model as its data-flow graph rather than as the
+// topologically ordered chain Abacus schedules. Independent branches
+// (Inception blocks, residual shortcuts) overlap on the device. The paper's
+// related work (§2) points at compiler systems (Rammer, TensorRT) that
+// exploit exactly this intra-model parallelism and notes they are
+// complementary to Abacus's inter-model overlap; RunDFG lets the
+// reproduction quantify how much intra-model headroom the zoo leaves.
+
+// RunDFG launches the model's operators respecting only true DFG
+// dependencies: an operator is issued (after the launch gap) once all of
+// its predecessors completed. done, if non-nil, fires when every operator
+// has finished. Returns immediately; execution proceeds on the virtual
+// clock.
+func RunDFG(dev *gpusim.Device, m *Model, in Input, done func()) {
+	n := m.NumOps()
+	if n == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	p := dev.Profile()
+	eng := dev.Engine()
+
+	// Successor lists and predecessor counts from the recorded graph.
+	succs := make([][]int, n)
+	pending := make([]int, n)
+	for i, preds := range m.Preds {
+		pending[i] = len(preds)
+		for _, pr := range preds {
+			succs[pr] = append(succs[pr], i)
+		}
+	}
+
+	remaining := n
+	var launch func(i int)
+	complete := func(i int) {
+		remaining--
+		if remaining == 0 {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		for _, s := range succs[i] {
+			pending[s]--
+			if pending[s] == 0 {
+				launch(s)
+			}
+		}
+	}
+	launch = func(i int) {
+		spec := KernelFor(&m.Ops[i], in, p)
+		eng.Schedule(p.LaunchGap, func() {
+			dev.Launch(spec, func() { complete(i) })
+		})
+	}
+	for i := 0; i < n; i++ {
+		if pending[i] == 0 {
+			launch(i)
+		}
+	}
+}
+
+// DFGLatency measures the exclusive-device latency of one query executed
+// with intra-model branch parallelism (compare SoloLatency, which runs the
+// topological chain).
+func DFGLatency(m *Model, in Input, p gpusim.Profile) float64 {
+	eng := sim.NewEngine()
+	dev := gpusim.New(eng, p)
+	var finish sim.Time
+	RunDFG(dev, m, in, func() { finish = eng.Now() })
+	eng.Run()
+	return finish
+}

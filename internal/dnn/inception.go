@@ -1,0 +1,120 @@
+package dnn
+
+import "fmt"
+
+// buildInceptionV3 constructs Inception-V3 for 299×299 inputs following the
+// torchvision block structure (stem, 3×A, B, 4×C, D, 2×E). Inception's many
+// narrow branch convolutions leave the device under-occupied — the model the
+// paper singles out as benefiting most from deterministic overlap.
+func buildInceptionV3(name string) *Model {
+	g := &graph{}
+	t := tensor{C: 3, H: 299, W: 299}
+
+	// Stem.
+	cur, t := convBNReLU(g, name+"/stem/c1", -1, t, 32, 3, 3, 2) // 150
+	cur, t = convBNReLU(g, name+"/stem/c2", cur, t, 32, 3, 3, 1)
+	cur, t = convBNReLU(g, name+"/stem/c3", cur, t, 64, 3, 3, 1)
+	p1, t := poolOp(MaxPool, name+"/stem/pool1", t, 3, 2) // 75
+	cur = g.add(p1, cur)
+	cur, t = convBNReLU(g, name+"/stem/c4", cur, t, 80, 1, 1, 1)
+	cur, t = convBNReLU(g, name+"/stem/c5", cur, t, 192, 3, 3, 1)
+	p2, t := poolOp(MaxPool, name+"/stem/pool2", t, 3, 2) // 38
+	cur = g.add(p2, cur)
+
+	// 3× Inception-A at 38×38.
+	poolProj := [3]int{32, 64, 64}
+	for i := 0; i < 3; i++ {
+		cur, t = inceptionA(g, fmt.Sprintf("%s/a%d", name, i), cur, t, poolProj[i])
+	}
+	// Reduction-B to 19×19.
+	cur, t = inceptionB(g, name+"/b0", cur, t)
+	// 4× Inception-C at 19×19.
+	c7 := [4]int{128, 160, 160, 192}
+	for i := 0; i < 4; i++ {
+		cur, t = inceptionC(g, fmt.Sprintf("%s/c%d", name, i), cur, t, c7[i])
+	}
+	// Reduction-D to 10×10.
+	cur, t = inceptionD(g, name+"/d0", cur, t)
+	// 2× Inception-E at 10×10.
+	for i := 0; i < 2; i++ {
+		cur, t = inceptionE(g, fmt.Sprintf("%s/e%d", name, i), cur, t)
+	}
+
+	gp, t := globalPoolOp(name+"/avgpool", t)
+	p := g.add(gp, cur)
+	g.add(denseOp(name+"/fc", t.C, 1000), p)
+
+	return finishCV(g.build(name), 299)
+}
+
+// branchPool appends avgpool → 1×1 conv-bn-relu and returns (index, shape).
+func branchPool(g *graph, prefix string, dep int, in tensor, outC int) (int, tensor) {
+	pool, pt := poolOp(AvgPool, prefix+"/pool", in, 3, 1)
+	p := g.add(pool, dep)
+	return convBNReLU(g, prefix+"/proj", p, pt, outC, 1, 1, 1)
+}
+
+func inceptionA(g *graph, prefix string, dep int, in tensor, poolC int) (int, tensor) {
+	b1, t1 := convBNReLU(g, prefix+"/b1", dep, in, 64, 1, 1, 1)
+	b2a, t2 := convBNReLU(g, prefix+"/b2a", dep, in, 48, 1, 1, 1)
+	b2, t2 := convBNReLU(g, prefix+"/b2b", b2a, t2, 64, 5, 5, 1)
+	b3a, t3 := convBNReLU(g, prefix+"/b3a", dep, in, 64, 1, 1, 1)
+	b3b, t3 := convBNReLU(g, prefix+"/b3b", b3a, t3, 96, 3, 3, 1)
+	b3, t3 := convBNReLU(g, prefix+"/b3c", b3b, t3, 96, 3, 3, 1)
+	b4, t4 := branchPool(g, prefix+"/b4", dep, in, poolC)
+	cat, out := concatOp(prefix+"/concat", t1, t2, t3, t4)
+	return g.add(cat, b1, b2, b3, b4), out
+}
+
+func inceptionB(g *graph, prefix string, dep int, in tensor) (int, tensor) {
+	b1, t1 := convBNReLU(g, prefix+"/b1", dep, in, 384, 3, 3, 2)
+	b2a, t2 := convBNReLU(g, prefix+"/b2a", dep, in, 64, 1, 1, 1)
+	b2b, t2 := convBNReLU(g, prefix+"/b2b", b2a, t2, 96, 3, 3, 1)
+	b2, t2 := convBNReLU(g, prefix+"/b2c", b2b, t2, 96, 3, 3, 2)
+	pool, t3 := poolOp(MaxPool, prefix+"/pool", in, 3, 2)
+	b3 := g.add(pool, dep)
+	cat, out := concatOp(prefix+"/concat", t1, t2, t3)
+	return g.add(cat, b1, b2, b3), out
+}
+
+func inceptionC(g *graph, prefix string, dep int, in tensor, c7 int) (int, tensor) {
+	b1, t1 := convBNReLU(g, prefix+"/b1", dep, in, 192, 1, 1, 1)
+	b2a, t2 := convBNReLU(g, prefix+"/b2a", dep, in, c7, 1, 1, 1)
+	b2b, t2 := convBNReLU(g, prefix+"/b2b", b2a, t2, c7, 1, 7, 1)
+	b2, t2 := convBNReLU(g, prefix+"/b2c", b2b, t2, 192, 7, 1, 1)
+	b3a, t3 := convBNReLU(g, prefix+"/b3a", dep, in, c7, 1, 1, 1)
+	b3b, t3 := convBNReLU(g, prefix+"/b3b", b3a, t3, c7, 7, 1, 1)
+	b3c, t3 := convBNReLU(g, prefix+"/b3c", b3b, t3, c7, 1, 7, 1)
+	b3d, t3 := convBNReLU(g, prefix+"/b3d", b3c, t3, c7, 7, 1, 1)
+	b3, t3 := convBNReLU(g, prefix+"/b3e", b3d, t3, 192, 1, 7, 1)
+	b4, t4 := branchPool(g, prefix+"/b4", dep, in, 192)
+	cat, out := concatOp(prefix+"/concat", t1, t2, t3, t4)
+	return g.add(cat, b1, b2, b3, b4), out
+}
+
+func inceptionD(g *graph, prefix string, dep int, in tensor) (int, tensor) {
+	b1a, t1 := convBNReLU(g, prefix+"/b1a", dep, in, 192, 1, 1, 1)
+	b1, t1 := convBNReLU(g, prefix+"/b1b", b1a, t1, 320, 3, 3, 2)
+	b2a, t2 := convBNReLU(g, prefix+"/b2a", dep, in, 192, 1, 1, 1)
+	b2b, t2 := convBNReLU(g, prefix+"/b2b", b2a, t2, 192, 1, 7, 1)
+	b2c, t2 := convBNReLU(g, prefix+"/b2c", b2b, t2, 192, 7, 1, 1)
+	b2, t2 := convBNReLU(g, prefix+"/b2d", b2c, t2, 192, 3, 3, 2)
+	pool, t3 := poolOp(MaxPool, prefix+"/pool", in, 3, 2)
+	b3 := g.add(pool, dep)
+	cat, out := concatOp(prefix+"/concat", t1, t2, t3)
+	return g.add(cat, b1, b2, b3), out
+}
+
+func inceptionE(g *graph, prefix string, dep int, in tensor) (int, tensor) {
+	b1, t1 := convBNReLU(g, prefix+"/b1", dep, in, 320, 1, 1, 1)
+	b2a, t2 := convBNReLU(g, prefix+"/b2a", dep, in, 384, 1, 1, 1)
+	b2x, t2x := convBNReLU(g, prefix+"/b2x", b2a, t2, 384, 1, 3, 1)
+	b2y, t2y := convBNReLU(g, prefix+"/b2y", b2a, t2, 384, 3, 1, 1)
+	b3a, t3 := convBNReLU(g, prefix+"/b3a", dep, in, 448, 1, 1, 1)
+	b3b, t3 := convBNReLU(g, prefix+"/b3b", b3a, t3, 384, 3, 3, 1)
+	b3x, t3x := convBNReLU(g, prefix+"/b3x", b3b, t3, 384, 1, 3, 1)
+	b3y, t3y := convBNReLU(g, prefix+"/b3y", b3b, t3, 384, 3, 1, 1)
+	b4, t4 := branchPool(g, prefix+"/b4", dep, in, 192)
+	cat, out := concatOp(prefix+"/concat", t1, t2x, t2y, t3x, t3y, t4)
+	return g.add(cat, b1, b2x, b2y, b3x, b3y, b4), out
+}

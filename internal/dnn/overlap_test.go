@@ -1,0 +1,93 @@
+package dnn
+
+import (
+	"testing"
+
+	"abacus/internal/gpusim"
+	"abacus/internal/sim"
+)
+
+// coRunMakespan executes one query of each (model, input) concurrently on a
+// fresh device and returns the makespan.
+func coRunMakespan(t *testing.T, pairs []ModelID, in Input, p gpusim.Profile) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := gpusim.New(eng, p)
+	var finish sim.Time
+	remaining := len(pairs)
+	for _, id := range pairs {
+		m := Get(id)
+		q := in
+		if !m.IsSequence() {
+			q.SeqLen = 0
+		} else if q.SeqLen == 0 {
+			q.SeqLen = m.SeqLens[len(m.SeqLens)-1]
+		}
+		dev.RunChain(Kernels(m, q, p, 0, m.NumOps()), func() {
+			remaining--
+			if remaining == 0 {
+				finish = eng.Now()
+			}
+		})
+	}
+	eng.Run()
+	if remaining != 0 {
+		t.Fatalf("co-run did not complete: %d chains left", remaining)
+	}
+	return finish
+}
+
+// overlapGain returns sequential-time / co-run-makespan for a pair at the
+// given batch: > 1 means overlap helps.
+func overlapGain(t *testing.T, a, b ModelID, batch int, p gpusim.Profile) float64 {
+	t.Helper()
+	in := Input{Batch: batch}
+	seq := func(id ModelID) float64 {
+		m := Get(id)
+		q := in
+		if m.IsSequence() {
+			q.SeqLen = m.SeqLens[len(m.SeqLens)-1]
+		}
+		return SoloLatency(m, q, p)
+	}
+	sequential := seq(a) + seq(b)
+	co := coRunMakespan(t, []ModelID{a, b}, in, p)
+	return sequential / co
+}
+
+// TestOverlapCrossover pins the contention regime the paper's evaluation
+// depends on (§7.3): ResNet/Inception pairs gain substantially from operator
+// overlap, while (VGG16, VGG19) — whose kernels saturate the device — gain
+// almost nothing.
+func TestOverlapCrossover(t *testing.T) {
+	p := gpusim.A100Profile()
+	cases := []struct {
+		a, b       ModelID
+		batch      int
+		minG, maxG float64
+	}{
+		{ResNet50, ResNet152, 16, 1.2, 2.0},
+		{ResNet152, InceptionV3, 16, 1.25, 2.0},
+		{ResNet101, Bert, 16, 1.2, 2.0},
+		{VGG16, VGG19, 32, 0.95, 1.2},
+	}
+	for _, c := range cases {
+		g := overlapGain(t, c.a, c.b, c.batch, p)
+		t.Logf("(%s,%s) bs=%d overlap gain %.3fx", c.a, c.b, c.batch, g)
+		if g < c.minG || g > c.maxG {
+			t.Errorf("(%s,%s) bs=%d: overlap gain %.3f outside [%.2f, %.2f]", c.a, c.b, c.batch, g, c.minG, c.maxG)
+		}
+	}
+}
+
+// TestOverlapDeterminism verifies the paper's §5.2 premise in the substrate:
+// the same overlap set yields the same latency, run after run.
+func TestOverlapDeterminism(t *testing.T) {
+	p := gpusim.A100Profile()
+	first := coRunMakespan(t, []ModelID{ResNet50, VGG16, Bert}, Input{Batch: 8, SeqLen: 32}, p)
+	for i := 0; i < 5; i++ {
+		if got := coRunMakespan(t, []ModelID{ResNet50, VGG16, Bert}, Input{Batch: 8, SeqLen: 32}, p); got != first {
+			t.Fatalf("run %d: makespan %v != %v", i, got, first)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package dnn
+
+import "fmt"
+
+// buildResNet constructs a torchvision-style bottleneck ResNet for 224×224
+// inputs. blocks gives the number of bottleneck blocks per stage:
+// {3,4,6,3} = ResNet-50, {3,4,23,3} = ResNet-101, {3,8,36,3} = ResNet-152.
+func buildResNet(name string, blocks [4]int) *Model {
+	g := &graph{}
+	in := tensor{C: 3, H: 224, W: 224}
+
+	// Stem: 7×7/2 conv → BN → ReLU → 3×3/2 max pool.
+	r, t := convBNReLU(g, name+"/stem", -1, in, 64, 7, 7, 2)
+	pool, t := poolOp(MaxPool, name+"/stem/maxpool", t, 3, 2)
+	cur := g.add(pool, r)
+
+	for stage := 0; stage < 4; stage++ {
+		width := 64 << stage
+		outC := width * 4
+		for blk := 0; blk < blocks[stage]; blk++ {
+			stride := 1
+			if stage > 0 && blk == 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("%s/s%d/b%d", name, stage+1, blk)
+			cur, t = bottleneck(g, prefix, cur, t, width, outC, stride)
+		}
+	}
+
+	gp, t := globalPoolOp(name+"/avgpool", t)
+	p := g.add(gp, cur)
+	f := g.add(denseOp(name+"/fc", t.C, 1000), p)
+	_ = f
+
+	return finishCV(g.build(name), 224)
+}
+
+// bottleneck appends one bottleneck residual block (1×1 reduce, 3×3, 1×1
+// expand, with a projection shortcut when the shape changes) and returns the
+// final ReLU index and output shape.
+func bottleneck(g *graph, prefix string, dep int, in tensor, width, outC, stride int) (int, tensor) {
+	// Main path.
+	r1, t1 := convBNReLU(g, prefix+"/1x1a", dep, in, width, 1, 1, 1)
+	r2, t2 := convBNReLU(g, prefix+"/3x3", r1, t1, width, 3, 3, stride)
+	conv3, t3 := convOp(prefix+"/1x1b/conv", t2, outC, 1, 1, 1)
+	c3 := g.add(conv3, r2)
+	b3 := g.add(bnOp(prefix+"/1x1b/bn", t3), c3)
+
+	// Shortcut path.
+	shortcut := dep
+	if stride != 1 || in.C != outC {
+		dconv, dt := convOp(prefix+"/down/conv", in, outC, 1, 1, stride)
+		dc := g.add(dconv, dep)
+		shortcut = g.add(bnOp(prefix+"/down/bn", dt), dc)
+	}
+
+	a := g.add(addOp(prefix+"/add", t3), b3, shortcut)
+	r := g.add(reluOp(prefix+"/relu", t3), a)
+	return r, t3
+}

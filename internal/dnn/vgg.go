@@ -1,0 +1,40 @@
+package dnn
+
+import "fmt"
+
+// buildVGG constructs VGG-16 ({2,2,3,3,3} convs per stage) or VGG-19
+// ({2,2,4,4,4}) for 224×224 inputs. VGG's huge 3×3 convolutions saturate the
+// device, so co-locating two VGGs degenerates to time-sharing — the regime
+// where the paper reports Abacus gains nothing (§7.3).
+func buildVGG(name string, convsPerStage [5]int) *Model {
+	channels := [5]int{64, 128, 256, 512, 512}
+	g := &graph{}
+	t := tensor{C: 3, H: 224, W: 224}
+	cur := -1
+	for stage, n := range convsPerStage {
+		for i := 0; i < n; i++ {
+			prefix := fmt.Sprintf("%s/s%d/c%d", name, stage+1, i)
+			conv, out := convOp(prefix+"/conv", t, channels[stage], 3, 3, 1)
+			var c int
+			if cur < 0 {
+				c = g.add(conv)
+			} else {
+				c = g.add(conv, cur)
+			}
+			cur = g.add(reluOp(prefix+"/relu", out), c)
+			t = out
+		}
+		pool, out := poolOp(MaxPool, fmt.Sprintf("%s/s%d/pool", name, stage+1), t, 2, 2)
+		cur = g.add(pool, cur)
+		t = out
+	}
+
+	flat := t.C * t.H * t.W // 512·7·7 = 25088
+	f1 := g.add(denseOp(name+"/fc1", flat, 4096), cur)
+	r1 := g.add(reluOp(name+"/fc1/relu", tensor{C: 4096, H: 1, W: 1}), f1)
+	f2 := g.add(denseOp(name+"/fc2", 4096, 4096), r1)
+	r2 := g.add(reluOp(name+"/fc2/relu", tensor{C: 4096, H: 1, W: 1}), f2)
+	g.add(denseOp(name+"/fc3", 4096, 1000), r2)
+
+	return finishCV(g.build(name), 224)
+}

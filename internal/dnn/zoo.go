@@ -1,0 +1,111 @@
+package dnn
+
+import (
+	"fmt"
+	"sync"
+
+	"abacus/internal/gpusim"
+	"abacus/internal/sim"
+)
+
+// ModelID identifies one of the seven serving models from Table 1 of the
+// paper. The order matches the paper's co-location tables.
+type ModelID int
+
+// The paper's model zoo.
+const (
+	ResNet50 ModelID = iota
+	ResNet101
+	ResNet152
+	InceptionV3
+	VGG16
+	VGG19
+	Bert
+	NumModels // count of models in the zoo
+)
+
+var modelNames = [...]string{
+	ResNet50:    "Res50",
+	ResNet101:   "Res101",
+	ResNet152:   "Res152",
+	InceptionV3: "IncepV3",
+	VGG16:       "VGG16",
+	VGG19:       "VGG19",
+	Bert:        "Bert",
+}
+
+// String returns the paper's short model name (e.g. "Res152").
+func (id ModelID) String() string {
+	if id < 0 || id >= NumModels {
+		return fmt.Sprintf("ModelID(%d)", int(id))
+	}
+	return modelNames[id]
+}
+
+// ModelIDByName resolves a short name (case-sensitive, as printed by
+// String) back to its ModelID.
+func ModelIDByName(name string) (ModelID, error) {
+	for id, n := range modelNames {
+		if n == name {
+			return ModelID(id), nil
+		}
+	}
+	return 0, fmt.Errorf("dnn: unknown model %q", name)
+}
+
+var (
+	zooOnce sync.Once
+	zoo     [NumModels]*Model
+)
+
+func buildZoo() {
+	zoo[ResNet50] = buildResNet("Res50", [4]int{3, 4, 6, 3})
+	zoo[ResNet101] = buildResNet("Res101", [4]int{3, 4, 23, 3})
+	zoo[ResNet152] = buildResNet("Res152", [4]int{3, 8, 36, 3})
+	zoo[InceptionV3] = buildInceptionV3("IncepV3")
+	zoo[VGG16] = buildVGG("VGG16", [5]int{2, 2, 3, 3, 3})
+	zoo[VGG19] = buildVGG("VGG19", [5]int{2, 2, 4, 4, 4})
+	zoo[Bert] = buildBert("Bert")
+	for i := range zoo {
+		zoo[i].ID = i
+	}
+}
+
+// Get returns the (shared, immutable) model for id. Models are built once
+// and must not be mutated by callers.
+func Get(id ModelID) *Model {
+	zooOnce.Do(buildZoo)
+	if id < 0 || id >= NumModels {
+		panic(fmt.Sprintf("dnn: model id %d out of range", int(id)))
+	}
+	return zoo[id]
+}
+
+// All returns the full zoo in ModelID order.
+func All() []*Model {
+	zooOnce.Do(buildZoo)
+	out := make([]*Model, NumModels)
+	copy(out, zoo[:])
+	return out
+}
+
+// Batches returns the batch sizes served per Table 1.
+func Batches() []int { return []int{4, 8, 16, 32} }
+
+// SoloLatency measures the end-to-end execution latency of one query
+// (operators [0, NumOps), exclusive device) on a private simulation. It is
+// the paper's solo-run latency used to derive QoS targets.
+func SoloLatency(m *Model, in Input, p gpusim.Profile) float64 {
+	return SpanLatency(m, in, p, 0, m.NumOps())
+}
+
+// SpanLatency measures the exclusive-device latency of operators
+// [start, end) of one query, including per-launch gaps.
+func SpanLatency(m *Model, in Input, p gpusim.Profile, start, end int) float64 {
+	eng := sim.NewEngine()
+	dev := gpusim.New(eng, p)
+	var finish sim.Time
+	dev.RunChain(Kernels(m, in, p, start, end), func() { finish = eng.Now() })
+	eng.Run()
+	return finish
+}

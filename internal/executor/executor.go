@@ -1,0 +1,125 @@
+// Package executor implements the paper's flexible segmental model executor
+// (§6.1). It executes one deterministic operator group at a time on a
+// (simulated) GPU: the spans of all member queries are issued together, run
+// concurrently under contention, and a synchronization point marks the group
+// complete. Partially processed queries have their intermediate activations
+// checkpointed so the next group can resume them.
+//
+// The paper runs each DNN service in its own OS process for fault isolation;
+// in the simulation the processes' only architecturally visible effect — one
+// span per service per group, independent kernel chains — is preserved.
+package executor
+
+import (
+	"fmt"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+)
+
+// Executor drives one device, exclusively: a new group may only be issued
+// once the previous group's synchronization completed, which is exactly how
+// Abacus guarantees that the operator overlap is the one the predictor was
+// consulted about (§4 step 3).
+type Executor struct {
+	dev  *gpusim.Device
+	busy bool
+
+	syncCost float64 // host-side synchronization cost charged per group, ms
+
+	groups        int64
+	checkpointed  float64 // bytes of intermediate results currently saved
+	peakCheckpoin float64
+}
+
+// New returns an executor over the device. syncCost is the per-group
+// synchronization overhead charged on the virtual clock (≥ 0).
+func New(dev *gpusim.Device, syncCost float64) *Executor {
+	if syncCost < 0 {
+		panic("executor: negative sync cost")
+	}
+	return &Executor{dev: dev, syncCost: syncCost}
+}
+
+// Device returns the underlying device.
+func (e *Executor) Device() *gpusim.Device { return e.dev }
+
+// Busy reports whether a group is in flight.
+func (e *Executor) Busy() bool { return e.busy }
+
+// Groups returns the number of groups executed so far.
+func (e *Executor) Groups() int64 { return e.groups }
+
+// CheckpointedBytes returns the bytes of intermediate results currently
+// saved for partially processed queries (§7.8 reports ~20 MB).
+func (e *Executor) CheckpointedBytes() float64 { return e.checkpointed }
+
+// PeakCheckpointedBytes returns the high-water mark of checkpoint memory.
+func (e *Executor) PeakCheckpointedBytes() float64 { return e.peakCheckpoin }
+
+// Execute issues the group. Every span runs as a dependent kernel chain;
+// chains from different queries overlap on the device. done fires after all
+// spans complete and the synchronization cost elapsed. Execute panics if a
+// group is already in flight or the group is invalid — the query controller
+// guarantees both.
+func (e *Executor) Execute(g predictor.Group, done func()) {
+	if e.busy {
+		panic("executor: Execute while a group is in flight")
+	}
+	if err := g.Validate(); err != nil {
+		panic(fmt.Errorf("executor: %w", err))
+	}
+	e.busy = true
+	e.groups++
+	e.accountCheckpoints(g)
+
+	eng := e.dev.Engine()
+	remaining := len(g)
+	finish := func() {
+		eng.Schedule(e.syncCost, func() {
+			e.busy = false
+			done()
+		})
+	}
+	if remaining == 0 {
+		finish()
+		return
+	}
+	for _, entry := range g {
+		m := dnn.Get(entry.Model)
+		specs := dnn.Kernels(m, entry.Input(), e.dev.Profile(), entry.OpStart, entry.OpEnd)
+		e.dev.RunChain(specs, func() {
+			remaining--
+			if remaining == 0 {
+				finish()
+			}
+		})
+	}
+}
+
+// accountCheckpoints updates the intermediate-result memory gauge: an entry
+// that stops before its model's end checkpoints the activation at the span
+// boundary; an entry that completes its model frees its checkpoint.
+func (e *Executor) accountCheckpoints(g predictor.Group) {
+	var saved float64
+	for _, entry := range g {
+		m := dnn.Get(entry.Model)
+		if entry.OpEnd < m.NumOps() {
+			// Output activation of the last executed operator, fp32.
+			saved += m.Ops[entry.OpEnd-1].OutElems.Eval(entry.Input()) * 4
+		}
+	}
+	e.checkpointed = saved
+	if saved > e.peakCheckpoin {
+		e.peakCheckpoin = saved
+	}
+}
+
+// ExclusiveLatency is a convenience: the exclusive-device latency of a whole
+// query (all operators, no co-runners) — what the sequential baselines pay
+// per query, and the basis of the paper's 2×-solo QoS targets.
+func ExclusiveLatency(id dnn.ModelID, in dnn.Input, p gpusim.Profile) float64 {
+	m := dnn.Get(id)
+	return dnn.SpanWork(m, in, p, 0, m.NumOps())
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abacus/internal/autoscale"
+	"abacus/internal/dnn"
+	"abacus/internal/predictor"
+	"abacus/internal/trace"
+)
+
+func init() {
+	register("affinity", Affinity)
+	register("autoscale", Autoscale)
+}
+
+// Affinity reproduces the §7.8 profiling-scalability analysis: the pairwise
+// overlap-gain matrix over the full zoo and the service groups Abacus would
+// form so that only same-group models need pairwise profiling (O(N) instead
+// of O(N²)). Pairs like (VGG16, VGG19), whose co-located latency equals
+// sequential execution, must not be co-grouped.
+func Affinity(opts Options) []Table {
+	p := profile()
+	models := ZooIDs()
+	batch := 16
+	m := predictor.AffinityMatrix(models, batch, p)
+
+	matrix := Table{
+		ID:     "affinity",
+		Title:  "Pairwise overlap gain (sequential time / co-run makespan, bs=16)",
+		Header: append([]string{"model"}, modelNames(models)...),
+	}
+	for i, id := range models {
+		row := []string{id.String()}
+		for j := range models {
+			row = append(row, f2(m[i][j]))
+		}
+		matrix.AddRow(row...)
+	}
+
+	groups := Table{
+		ID:     "affinity-groups",
+		Title:  "Service groups for O(N) profiling (group size 2)",
+		Header: []string{"group", "members", "intra-group gain"},
+	}
+	for gi, g := range predictor.PartitionServices(models, 2, batch, p) {
+		gain := 1.0
+		if len(g) == 2 {
+			gain = predictor.OverlapGain(g[0], g[1], batch, p)
+		}
+		groups.AddRow(fmt.Sprintf("%d", gi+1), pairName(g), f2(gain))
+	}
+	groups.Notes = append(groups.Notes,
+		"VGG16 and VGG19 must not share a group: their gain ≈ 1 (paper §7.8)")
+	return []Table{matrix, groups}
+}
+
+func modelNames(ids []dnn.ModelID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = id.String()
+	}
+	return out
+}
+
+// Autoscale exercises the §7.9 future-work extension: an Abacus-aware
+// capacity planner sizing a fleet against a diurnal MAF-like load. The
+// table reports the per-interval fleet decisions and the aggregate
+// provisioning efficiency versus static peak provisioning.
+func Autoscale(opts Options) []Table {
+	p := profile()
+	models := []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert}
+	plan := autoscale.BuildPlan(models, 2, p, opts.Seed)
+
+	// Per-minute offered load from a MAF-like trace.
+	durationMS := 20 * 60_000.0
+	baseQPS := 250.0
+	if opts.Quick {
+		durationMS = 8 * 60_000
+		baseQPS = 150
+	}
+	gen := trace.NewGenerator(models, opts.Seed)
+	arrivals := gen.MAF(trace.DefaultMAFConfig(baseQPS, durationMS, opts.Seed))
+	buckets := int(durationMS / 60_000)
+	offered := make([]float64, buckets)
+	for _, a := range arrivals {
+		b := int(a.Time / 60_000)
+		if b < buckets {
+			offered[b] += 1.0 / 60 // per-minute count → QPS
+		}
+	}
+
+	planner, err := autoscale.NewPlanner(autoscale.PlannerConfig{Plan: plan})
+	if err != nil {
+		panic(err)
+	}
+	timeline := autoscale.PlanTimeline(planner, offered)
+
+	t := Table{
+		ID:    "autoscale",
+		Title: fmt.Sprintf("Abacus-aware autoscaling (node capacity %.0f r/s, groups %v)", plan.CapacityQPS, len(plan.Groups)),
+		Header: []string{
+			"minute", "offered(r/s)", "forecast", "nodes", "decision", "utilization"},
+	}
+	var peakNodes int
+	var nodeMinutes float64
+	var overloadMinutes int
+	for i, pt := range timeline {
+		t.AddRow(fmt.Sprintf("%d", i), f1(pt.OfferedQPS), f1(pt.Forecast),
+			fmt.Sprintf("%d", pt.Nodes), pt.Decision.String(), pct(pt.Utilization))
+		if pt.Nodes > peakNodes {
+			peakNodes = pt.Nodes
+		}
+		nodeMinutes += float64(pt.Nodes)
+		if pt.Utilization > 1 {
+			overloadMinutes++
+		}
+	}
+	staticNodeMinutes := float64(peakNodes * len(timeline))
+	saved := 0.0
+	if staticNodeMinutes > 0 {
+		saved = 1 - nodeMinutes/staticNodeMinutes
+	}
+	t.Notes = append(t.Notes,
+		"node-minutes saved vs static peak provisioning: "+pct(saved),
+		fmt.Sprintf("minutes above provisioned capacity: %d of %d", overloadMinutes, len(timeline)),
+		"extension of §7.9: scale-out decisions from Abacus-aware capacity estimates")
+	return []Table{t}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"abacus/internal/predictor"
+	"abacus/internal/stats"
+)
+
+func init() { register("fig7", Fig07) }
+
+// Fig07 reproduces Figure 7 (§5.2): sample operator groups from pairwise
+// co-location, measure each repeatedly under measurement noise, and report
+// the distribution of latencies against the distribution of run-to-run
+// standard deviations. The paper's finding — stddevs below 1 ms against
+// latencies in the tens of milliseconds (4.53% on average) — is the
+// determinism argument that justifies predicting operator-group latency.
+func Fig07(opts Options) []Table {
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Seed = opts.Seed
+	cfg.Runs = 20
+	perPair := opts.SamplesPerPair / 10
+	if perPair < 10 {
+		perPair = 10
+	}
+
+	samples := predictor.Collect(ZooIDs(), 2, perPair, cfg)
+	var lats, stds, ratios []float64
+	for _, s := range samples {
+		lats = append(lats, s.Latency)
+		stds = append(stds, s.StdDev)
+		if s.Latency > 0 {
+			ratios = append(ratios, s.StdDev/s.Latency)
+		}
+	}
+
+	t := Table{
+		ID:     "fig7",
+		Title:  "Operator-group latency determinism (pairwise groups, 20 runs each)",
+		Header: []string{"statistic", "latency(ms)", "stddev(ms)"},
+	}
+	t.AddRow("mean", f2(stats.Mean(lats)), f3(stats.Mean(stds)))
+	t.AddRow("p50", f2(stats.Percentile(lats, 50)), f3(stats.Percentile(stds, 50)))
+	t.AddRow("p90", f2(stats.Percentile(lats, 90)), f3(stats.Percentile(stds, 90)))
+	t.AddRow("p99", f2(stats.Percentile(lats, 99)), f3(stats.Percentile(stds, 99)))
+	t.AddRow("max", f2(stats.Max(lats)), f3(stats.Max(stds)))
+	t.Notes = append(t.Notes,
+		"groups sampled: "+f1(float64(len(samples)))+" across "+f1(float64(len(predictor.Combinations(ZooIDs(), 2))))+" pairs",
+		"mean stddev/latency = "+pct(stats.Mean(ratios))+" (paper: 4.53%)",
+		"fraction of groups with stddev < 1 ms: "+pct(fracBelow(stds, 1)))
+	return []Table{t}
+}
+
+func fracBelow(xs []float64, bound float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"abacus/internal/dnn"
+)
+
+func init() { register("intramodel", IntraModel) }
+
+// IntraModel quantifies the intra-model parallelism the zoo leaves on the
+// table: each model executed as its data-flow graph (independent branches
+// overlap, what Rammer/TensorRT-style compilers exploit — §2) versus the
+// topological operator chain Abacus schedules. The expected shape:
+// Inception's wide blocks gain noticeably, ResNets gain a little (the
+// residual shortcut is the only branch), VGG and BERT are pure chains and
+// gain nothing. This bounds how much of Abacus's utilization win could
+// instead be captured by a compiler — and shows the two are complementary,
+// as the paper argues.
+func IntraModel(opts Options) []Table {
+	p := profile()
+	t := Table{
+		ID:     "intramodel",
+		Title:  "Intra-model branch parallelism: DFG execution vs operator chain",
+		Header: []string{"model", "batch", "chain(ms)", "dfg(ms)", "speedup"},
+	}
+	var incepGain, vggGain float64
+	for _, m := range dnn.All() {
+		in := dnn.Input{Batch: 16}
+		if m.IsSequence() {
+			in.SeqLen = 32
+		}
+		chain := dnn.SoloLatency(m, in, p)
+		dfg := dnn.DFGLatency(m, in, p)
+		speedup := chain / dfg
+		switch dnn.ModelID(m.ID) {
+		case dnn.InceptionV3:
+			incepGain = speedup
+		case dnn.VGG16:
+			vggGain = speedup
+		}
+		t.AddRow(m.Name, fmt.Sprintf("%d", in.Batch), f2(chain), f2(dfg), f2(speedup))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Inception gains %.2fx from its branches; VGG (a pure chain) gains %.2fx", incepGain, vggGain),
+		"intra-model parallelism is bounded by graph width; Abacus's inter-model overlap composes with it (§2)")
+	return []Table{t}
+}

@@ -1,0 +1,447 @@
+// Package gpusim models a GPU as a deterministic discrete-event device.
+//
+// The Abacus paper's central premise (§5.2) is that the latency of a fixed
+// set of overlapped DNN operators is deterministic and predictable, while
+// freely overlapping kernels from independently arriving queries is not.
+// This package provides a device with exactly those properties as the
+// substitute for a physical A100 (see DESIGN.md):
+//
+//   - A kernel is (Work, SMFrac, MemFrac): milliseconds of solo execution,
+//     the fraction of the device's SMs it can occupy, and the fraction of
+//     DRAM bandwidth it demands at full rate.
+//   - Concurrently resident kernels share SMs and memory bandwidth by
+//     max-min fair allocation, so low-occupancy kernels overlap almost for
+//     free while saturating kernels time-share — the contention regime the
+//     paper reports for ResNet/Inception versus VGG.
+//   - Progress rates are piecewise constant between events; remaining work
+//     integrates exactly, so latency is a deterministic function of the
+//     overlap set.
+//   - Optional seeded lognormal noise perturbs each launch to reproduce the
+//     small run-to-run jitter measured in §5.2.
+//
+// MIG instances (§7.5) are devices with fractional SM/bandwidth capacity.
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"abacus/internal/sim"
+)
+
+// KernelSpec describes one GPU kernel launch.
+type KernelSpec struct {
+	Name    string  // diagnostic label, e.g. "conv3_4/conv"
+	Work    float64 // solo execution time at full allocation, ms (> 0)
+	SMFrac  float64 // fraction of device SMs occupied when running alone, (0, 1]
+	MemFrac float64 // fraction of device DRAM bandwidth demanded at full rate, [0, 1]
+}
+
+// Validate reports whether the spec's parameters are in range.
+func (s KernelSpec) Validate() error {
+	switch {
+	case !(s.Work > 0) || math.IsInf(s.Work, 0):
+		return fmt.Errorf("gpusim: kernel %q: Work %v must be positive and finite", s.Name, s.Work)
+	case !(s.SMFrac > 0) || s.SMFrac > 1:
+		return fmt.Errorf("gpusim: kernel %q: SMFrac %v must be in (0,1]", s.Name, s.SMFrac)
+	case s.MemFrac < 0 || s.MemFrac > 1 || math.IsNaN(s.MemFrac):
+		return fmt.Errorf("gpusim: kernel %q: MemFrac %v must be in [0,1]", s.Name, s.MemFrac)
+	}
+	return nil
+}
+
+// Profile holds the hardware constants of a device model. The defaults in
+// A100Profile are calibrated so the model zoo's solo latencies land in the
+// paper's regime (tens of milliseconds at batch 32).
+type Profile struct {
+	Name           string
+	NumSMs         int     // streaming multiprocessors (A100: 128 in the paper)
+	FLOPsPerMS     float64 // sustained FLOPs per millisecond at full device
+	BytesPerMS     float64 // sustained DRAM bytes per millisecond at full device
+	LaunchGap      float64 // host-side gap between dependent kernel launches, ms
+	BlocksPerSM    int     // resident thread blocks per SM used for occupancy
+	FullWaves      int     // block waves needed to reach full throughput (tail effect)
+	TransferPerMB  float64 // PCIe/NVLink transfer time per MB of query input, ms
+	ModelSwapPerMB float64 // time to activate (swap in) 1 MB of model weights, ms
+}
+
+// A100Profile returns the default device profile used across the
+// reproduction. Throughput constants are "sustained" rather than peak; the
+// per-operator efficiency factors live in the DNN cost model.
+func A100Profile() Profile {
+	return Profile{
+		Name:           "A100",
+		NumSMs:         128,
+		FLOPsPerMS:     1.6e11, // effective tensor-core roof
+		BytesPerMS:     1.9e9,  // HBM2e with L2 reuse folded in
+		LaunchGap:      0.004,  // 4 µs per dependent launch
+		BlocksPerSM:    2,
+		FullWaves:      4,      // small grids are latency-bound until ~4 waves
+		TransferPerMB:  0.045,  // ~22 GB/s effective PCIe 4.0
+		ModelSwapPerMB: 0.0625, // 16 GB/s weight activation path
+	}
+}
+
+// kernel is a resident kernel's bookkeeping.
+type kernel struct {
+	spec      KernelSpec
+	seq       int64    // launch order, for deterministic callback ordering
+	start     sim.Time // launch instant, for tracing
+	remaining float64  // work left, ms at full rate
+	rate      float64  // current progress rate in (0, 1]
+	done      func()
+}
+
+// Device is a (possibly partitioned) GPU executing kernels under contention.
+// All methods must be called from the simulation goroutine; Device is not
+// safe for concurrent use, matching the single-threaded engine.
+type Device struct {
+	eng     *sim.Engine
+	profile Profile
+	smCap   float64 // capacity in units of "fraction of a full device"
+	memCap  float64
+
+	running    map[*kernel]struct{}
+	lastUpdate sim.Time
+	completion *sim.Event
+
+	noise      *rand.Rand
+	noiseSigma float64
+	tracer     Tracer
+
+	busyTime sim.Time // integral of time with >= 1 resident kernel
+	smTime   float64  // integral of Σ rate·SMFrac dt (SM-milliseconds used)
+	launched int64
+}
+
+// New returns a full-capacity device attached to the engine.
+func New(eng *sim.Engine, profile Profile) *Device {
+	return newDevice(eng, profile, 1, 1)
+}
+
+func newDevice(eng *sim.Engine, profile Profile, smCap, memCap float64) *Device {
+	if eng == nil {
+		panic("gpusim: nil engine")
+	}
+	if smCap <= 0 || smCap > 1 || memCap <= 0 || memCap > 1 {
+		panic(fmt.Sprintf("gpusim: capacity (%v, %v) out of (0,1]", smCap, memCap))
+	}
+	return &Device{
+		eng:        eng,
+		profile:    profile,
+		smCap:      smCap,
+		memCap:     memCap,
+		running:    make(map[*kernel]struct{}),
+		lastUpdate: eng.Now(),
+	}
+}
+
+// Partition returns a MIG-style instance with the given fraction of the
+// parent's SM and memory-bandwidth capacity. Instances are fully isolated
+// from each other and from the parent; per MIG semantics the parent must not
+// be used for kernel execution while its partitions are.
+func (d *Device) Partition(smFrac, memFrac float64) *Device {
+	return newDevice(d.eng, d.profile, d.smCap*smFrac, d.memCap*memFrac)
+}
+
+// Engine returns the simulation engine driving this device.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// Profile returns the device's hardware profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// SMCapacity returns the device's SM capacity as a fraction of a full GPU.
+func (d *Device) SMCapacity() float64 { return d.smCap }
+
+// MemCapacity returns the device's bandwidth capacity as a fraction of a
+// full GPU.
+func (d *Device) MemCapacity() float64 { return d.memCap }
+
+// EnableNoise turns on seeded lognormal work perturbation: each launch's
+// work is multiplied by exp(sigma·N(0,1)). sigma = 0 disables noise.
+func (d *Device) EnableNoise(sigma float64, seed int64) {
+	if sigma < 0 {
+		panic("gpusim: negative noise sigma")
+	}
+	if sigma == 0 {
+		d.noise = nil
+		d.noiseSigma = 0
+		return
+	}
+	d.noise = rand.New(rand.NewSource(seed))
+	d.noiseSigma = sigma
+}
+
+// Resident reports the number of kernels currently executing.
+func (d *Device) Resident() int { return len(d.running) }
+
+// Launched reports the total number of kernels launched so far.
+func (d *Device) Launched() int64 { return d.launched }
+
+// BusyTime returns the total virtual time during which at least one kernel
+// was resident.
+func (d *Device) BusyTime() sim.Time { d.advance(); return d.busyTime }
+
+// SMTime returns the integral of SM utilization over time, in
+// "full-device milliseconds" (e.g. 2 kernels at 0.5 SMFrac for 1 ms = 1.0).
+func (d *Device) SMTime() float64 { d.advance(); return d.smTime }
+
+// Utilization returns mean SM utilization over [0, now], in [0, 1].
+func (d *Device) Utilization() float64 {
+	d.advance()
+	if d.eng.Now() == 0 {
+		return 0
+	}
+	return d.smTime / d.eng.Now()
+}
+
+// Launch begins executing spec. done, if non-nil, runs when the kernel
+// completes. Launch panics on an invalid spec: specs are produced by the
+// cost model, so an invalid one is a programming error.
+func (d *Device) Launch(spec KernelSpec, done func()) {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	d.advance()
+	w := spec.Work
+	if d.noise != nil {
+		w *= math.Exp(d.noiseSigma * d.noise.NormFloat64())
+	}
+	k := &kernel{spec: spec, seq: d.launched, start: d.eng.Now(), remaining: w, done: done}
+	d.running[k] = struct{}{}
+	d.launched++
+	d.reschedule()
+}
+
+// RunChain executes specs as a dependent chain: each kernel launches
+// LaunchGap after its predecessor completes (the first after an initial
+// gap). done, if non-nil, runs when the last kernel finishes. An empty chain
+// completes immediately. RunChain returns without blocking; execution
+// proceeds on the virtual clock.
+func (d *Device) RunChain(specs []KernelSpec, done func()) {
+	i := 0
+	var next func()
+	next = func() {
+		if i == len(specs) {
+			if done != nil {
+				done()
+			}
+			return
+		}
+		spec := specs[i]
+		i++
+		d.eng.Schedule(d.profile.LaunchGap, func() {
+			d.Launch(spec, next)
+		})
+	}
+	next()
+}
+
+// advance integrates kernel progress from lastUpdate to now at the current
+// (piecewise-constant) rates.
+func (d *Device) advance() {
+	now := d.eng.Now()
+	dt := now - d.lastUpdate
+	if dt <= 0 {
+		d.lastUpdate = now
+		return
+	}
+	if len(d.running) > 0 {
+		d.busyTime += dt
+		for k := range d.running {
+			k.remaining -= k.rate * dt
+			if k.remaining < 0 {
+				k.remaining = 0
+			}
+			d.smTime += k.rate * k.spec.SMFrac * dt
+		}
+	}
+	d.lastUpdate = now
+}
+
+// completionEps absorbs floating-point residue when deciding whether a
+// kernel has finished at its completion event.
+const completionEps = 1e-9
+
+// reschedule recomputes rates for the resident set and re-arms the next
+// completion event.
+func (d *Device) reschedule() {
+	if d.completion != nil {
+		d.eng.Cancel(d.completion)
+		d.completion = nil
+	}
+	if len(d.running) == 0 {
+		return
+	}
+	d.computeRates()
+	eta := math.Inf(1)
+	for k := range d.running {
+		t := k.remaining / k.rate
+		if t < eta {
+			eta = t
+		}
+	}
+	if eta < 0 {
+		eta = 0
+	}
+	d.completion = d.eng.Schedule(eta, d.onCompletion)
+}
+
+// onCompletion retires every kernel whose work is exhausted, then recomputes
+// rates for the survivors. Completion callbacks run after the device state
+// is consistent so they may immediately launch new kernels.
+func (d *Device) onCompletion() {
+	d.completion = nil
+	d.advance()
+	var finished []*kernel
+	for k := range d.running {
+		if k.remaining <= completionEps {
+			finished = append(finished, k)
+		}
+	}
+	for _, k := range finished {
+		delete(d.running, k)
+	}
+	d.reschedule()
+	// Callbacks run in launch order so simultaneous completions resolve
+	// deterministically regardless of map iteration order.
+	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	if d.tracer != nil {
+		now := d.eng.Now()
+		for _, k := range finished {
+			d.tracer(KernelEvent{
+				Name:    k.spec.Name,
+				Start:   k.start,
+				Finish:  now,
+				SMFrac:  k.spec.SMFrac,
+				MemFrac: k.spec.MemFrac,
+			})
+		}
+	}
+	for _, k := range finished {
+		if k.done != nil {
+			k.done()
+		}
+	}
+}
+
+// computeRates assigns each resident kernel its progress rate using max-min
+// fair sharing of SM capacity and of memory bandwidth:
+//
+//	rate_k = min(smAlloc_k/SMFrac_k, memAlloc_k/MemFrac_k)
+//
+// A kernel whose demand is below the fair share receives its full demand
+// (low-occupancy kernels overlap for free); oversubscribed kernels split the
+// residual capacity equally.
+func (d *Device) computeRates() {
+	n := len(d.running)
+	kernels := make([]*kernel, 0, n)
+	for k := range d.running {
+		kernels = append(kernels, k)
+	}
+	smDemand := make([]float64, n)
+	memDemand := make([]float64, n)
+	for i, k := range kernels {
+		smDemand[i] = k.spec.SMFrac
+		memDemand[i] = k.spec.MemFrac
+	}
+	smAlloc := maxMinShares(smDemand, d.smCap)
+	memAlloc := maxMinShares(memDemand, d.memCap)
+	for i, k := range kernels {
+		r := smAlloc[i] / k.spec.SMFrac
+		if k.spec.MemFrac > 0 {
+			if mr := memAlloc[i] / k.spec.MemFrac; mr < r {
+				r = mr
+			}
+		}
+		if r <= 0 {
+			// Cannot happen: capacity > 0 and demands > 0 imply a positive
+			// share, but guard against pathological float underflow.
+			r = 1e-12
+		}
+		if r > 1 {
+			r = 1
+		}
+		k.rate = r
+	}
+}
+
+// maxMinShares allocates capacity to demands by progressive filling
+// (water-filling): demands below the running fair share are fully granted;
+// the rest split the remainder equally. Zero demands receive zero.
+func maxMinShares(demands []float64, capacity float64) []float64 {
+	n := len(demands)
+	alloc := make([]float64, n)
+	order := make([]int, 0, n)
+	var total float64
+	for i, dm := range demands {
+		if dm > 0 {
+			order = append(order, i)
+			total += dm
+		}
+	}
+	if total <= capacity {
+		copy(alloc, demands)
+		return alloc
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if demands[order[a]] != demands[order[b]] {
+			return demands[order[a]] < demands[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	remaining := capacity
+	for pos, idx := range order {
+		left := len(order) - pos
+		fair := remaining / float64(left)
+		if demands[idx] <= fair {
+			alloc[idx] = demands[idx]
+			remaining -= demands[idx]
+		} else {
+			alloc[idx] = fair
+			remaining -= fair
+		}
+	}
+	return alloc
+}
+
+// EnergyModel converts device activity into energy, exploiting the paper's
+// §7.6 observation (via Kube-knots) that GPU power is highly linear in
+// utilization: P = idle + utilization·dynamic.
+type EnergyModel struct {
+	IdleWatts    float64 // power drawn while powered on
+	DynamicWatts float64 // additional power at 100% SM utilization
+}
+
+// A100Energy returns a representative 400 W TDP envelope.
+func A100Energy() EnergyModel {
+	return EnergyModel{IdleWatts: 80, DynamicWatts: 320}
+}
+
+// Energy returns the joules consumed by the device from time zero to now
+// under the model (virtual milliseconds × watts).
+func (d *Device) Energy(m EnergyModel) float64 {
+	d.advance()
+	elapsedS := d.eng.Now() / 1000
+	smS := d.smTime / 1000
+	return m.IdleWatts*elapsedS + m.DynamicWatts*smS
+}
+
+// V100Profile returns the profile used by the cluster experiment: the
+// paper's §7.6 testbed nodes carry V100s, roughly half an A100's compute
+// and bandwidth with fewer SMs.
+func V100Profile() Profile {
+	return Profile{
+		Name:           "V100",
+		NumSMs:         80,
+		FLOPsPerMS:     8.0e10,
+		BytesPerMS:     8.0e8,
+		LaunchGap:      0.005,
+		BlocksPerSM:    2,
+		FullWaves:      4,
+		TransferPerMB:  0.0625, // PCIe 3.0
+		ModelSwapPerMB: 0.0833, // 12 GB/s weight activation path
+	}
+}

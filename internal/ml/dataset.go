@@ -1,0 +1,103 @@
+// Package ml is a small, dependency-free machine-learning library built for
+// the Abacus latency predictor (§5.5 of the paper): a multilayer perceptron
+// trained with Adam, plus the two baselines the paper compares against —
+// linear (ridge) regression and a linear ε-insensitive SVR — together with
+// feature standardization and k-fold cross-validation.
+//
+// All models are deterministic given their seed and scale features (and,
+// where it matters, targets) internally, so callers pass raw feature
+// vectors.
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Dataset is a supervised regression dataset. X rows all share one width.
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Dim returns the feature width, or 0 for an empty dataset.
+func (d *Dataset) Dim() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Append adds one sample. It panics on a width mismatch.
+func (d *Dataset) Append(x []float64, y float64) {
+	if len(d.X) > 0 && len(x) != len(d.X[0]) {
+		panic(fmt.Sprintf("ml: appending width %d to dataset of width %d", len(x), len(d.X[0])))
+	}
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Validate checks the invariants (matching lengths, rectangular X).
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: |X|=%d but |Y|=%d", len(d.X), len(d.Y))
+	}
+	for i, row := range d.X {
+		if len(row) != d.Dim() {
+			return fmt.Errorf("ml: row %d has width %d, want %d", i, len(row), d.Dim())
+		}
+	}
+	return nil
+}
+
+// Shuffle permutes the samples in place using the given source.
+func (d *Dataset) Shuffle(rng *rand.Rand) {
+	rng.Shuffle(d.Len(), func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Split shuffles a copy of the dataset and splits it into trainFrac /
+// (1-trainFrac) partitions (the paper's 80/20 split, §5.5).
+func (d *Dataset) Split(trainFrac float64, rng *rand.Rand) (train, test Dataset) {
+	if trainFrac <= 0 || trainFrac >= 1 {
+		panic(fmt.Sprintf("ml: trainFrac %v out of (0,1)", trainFrac))
+	}
+	c := Dataset{X: append([][]float64(nil), d.X...), Y: append([]float64(nil), d.Y...)}
+	c.Shuffle(rng)
+	n := int(float64(c.Len()) * trainFrac)
+	train = Dataset{X: c.X[:n], Y: c.Y[:n]}
+	test = Dataset{X: c.X[n:], Y: c.Y[n:]}
+	return train, test
+}
+
+// Subset returns the dataset restricted to the given sample indices.
+func (d *Dataset) Subset(idx []int) Dataset {
+	out := Dataset{X: make([][]float64, 0, len(idx)), Y: make([]float64, 0, len(idx))}
+	for _, i := range idx {
+		out.X = append(out.X, d.X[i])
+		out.Y = append(out.Y, d.Y[i])
+	}
+	return out
+}
+
+// Regressor is a trainable scalar-output regression model.
+type Regressor interface {
+	// Fit trains on the dataset, replacing any previous state.
+	Fit(ds Dataset) error
+	// Predict returns the model output for one raw feature vector.
+	Predict(x []float64) float64
+}
+
+// PredictAll evaluates the model over every row of X.
+func PredictAll(m Regressor, X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KFold partitions sample indices [0, n) into k shuffled folds whose sizes
+// differ by at most one.
+func KFold(n, k int, rng *rand.Rand) [][]int {
+	if k < 2 || k > n {
+		panic(fmt.Sprintf("ml: KFold k=%d out of [2, n=%d]", k, n))
+	}
+	idx := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, v := range idx {
+		folds[i%k] = append(folds[i%k], v)
+	}
+	return folds
+}
+
+// CrossValidate runs k-fold cross validation: for each fold it trains a
+// fresh model (obtained from newModel) on the remaining folds and evaluates
+// errFn(predictions, truths) on the held-out fold, returning the per-fold
+// errors. This implements the paper's MLP cross-validation bar in Figure 10.
+func CrossValidate(ds Dataset, k int, rng *rand.Rand,
+	newModel func() Regressor,
+	errFn func(pred, actual []float64) float64) ([]float64, error) {
+
+	folds := KFold(ds.Len(), k, rng)
+	errs := make([]float64, 0, k)
+	for fi, fold := range folds {
+		var trainIdx []int
+		for fj, other := range folds {
+			if fj != fi {
+				trainIdx = append(trainIdx, other...)
+			}
+		}
+		model := newModel()
+		if err := model.Fit(ds.Subset(trainIdx)); err != nil {
+			return nil, fmt.Errorf("ml: fold %d: %w", fi, err)
+		}
+		test := ds.Subset(fold)
+		errs = append(errs, errFn(PredictAll(model, test.X), test.Y))
+	}
+	return errs, nil
+}

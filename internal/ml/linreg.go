@@ -1,0 +1,130 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// LinearRegression is ordinary least squares with optional ridge
+// regularization, solved by the normal equations. It is the weakest of the
+// paper's three candidate duration models (§5.5) and serves as the Figure 10
+// baseline.
+type LinearRegression struct {
+	// Ridge is the L2 penalty λ; zero requests plain OLS (a tiny λ is still
+	// applied for numerical stability).
+	Ridge float64
+
+	scaler *Scaler
+	w      []float64 // weights over standardized features
+	bias   float64
+}
+
+// Fit solves (XᵀX + λI)w = XᵀY over standardized features.
+func (m *LinearRegression) Fit(ds Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if ds.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	d := ds.Dim()
+	m.scaler = FitScaler(ds.X)
+	X := m.scaler.TransformAll(ds.X)
+
+	lambda := m.Ridge
+	if lambda <= 0 {
+		lambda = 1e-8
+	}
+
+	// Augment with a bias column; build the (d+1)² normal matrix.
+	n := d + 1
+	A := make([][]float64, n)
+	for i := range A {
+		A[i] = make([]float64, n)
+	}
+	b := make([]float64, n)
+	for r, row := range X {
+		y := ds.Y[r]
+		for i := 0; i < d; i++ {
+			xi := row[i]
+			for j := i; j < d; j++ {
+				A[i][j] += xi * row[j]
+			}
+			A[i][d] += xi
+			b[i] += xi * y
+		}
+		A[d][d]++
+		b[d] += y
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			A[i][j] = A[j][i]
+		}
+	}
+	for i := 0; i < d; i++ {
+		A[i][i] += lambda
+	}
+
+	sol, err := solveLinearSystem(A, b)
+	if err != nil {
+		return fmt.Errorf("ml: linear regression: %w", err)
+	}
+	m.w = sol[:d]
+	m.bias = sol[d]
+	return nil
+}
+
+// Predict evaluates the fitted hyperplane at a raw feature vector.
+func (m *LinearRegression) Predict(x []float64) float64 {
+	if m.w == nil {
+		panic("ml: LinearRegression.Predict before Fit")
+	}
+	out := m.bias
+	for j, v := range x {
+		out += m.w[j] * (v - m.scaler.Mean[j]) / m.scaler.Std[j]
+	}
+	return out
+}
+
+// solveLinearSystem solves A·x = b by Gaussian elimination with partial
+// pivoting. A and b are overwritten.
+func solveLinearSystem(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(A[r][col]) > math.Abs(A[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(A[pivot][col]) < 1e-12 {
+			return nil, errors.New("singular system")
+		}
+		A[col], A[pivot] = A[pivot], A[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		inv := 1 / A[col][col]
+		for r := col + 1; r < n; r++ {
+			f := A[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				A[r][c] -= f * A[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back-substitute.
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= A[r][c] * x[c]
+		}
+		x[r] = s / A[r][r]
+	}
+	return x, nil
+}

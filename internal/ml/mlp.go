@@ -1,0 +1,298 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected feed-forward regression network trained with
+// mini-batch Adam on mean squared error. The paper's duration model (§5.5)
+// is an MLP with three hidden layers of dimension 32; that is this type's
+// default topology.
+type MLP struct {
+	// Hidden lists the hidden layer widths (default {32, 32, 32}).
+	Hidden []int
+	// Epochs is the number of passes over the data (default 300).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// LearningRate is Adam's step size (default 1e-3).
+	LearningRate float64
+	// Seed drives initialization and shuffling; training is deterministic
+	// given Seed.
+	Seed int64
+
+	scaler  *Scaler
+	targets targetScaler
+	layers  []denseLayer
+
+	// scratch buffers for allocation-free prediction.
+	scratch [][]float64
+}
+
+// denseLayer is one affine layer: out = W·in + b, W stored row-major
+// (out × in).
+type denseLayer struct {
+	in, out int
+	W, B    []float64
+	// Adam state.
+	mW, vW, mB, vB []float64
+}
+
+func (m *MLP) defaults() (hidden []int, epochs, batch int, lr float64) {
+	hidden = m.Hidden
+	if len(hidden) == 0 {
+		hidden = []int{32, 32, 32}
+	}
+	epochs = m.Epochs
+	if epochs <= 0 {
+		epochs = 300
+	}
+	batch = m.BatchSize
+	if batch <= 0 {
+		batch = 32
+	}
+	lr = m.LearningRate
+	if lr <= 0 {
+		lr = 1e-3
+	}
+	return hidden, epochs, batch, lr
+}
+
+// Fit trains the network, replacing any previous weights. Features and
+// targets are standardized internally.
+func (m *MLP) Fit(ds Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if ds.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	hidden, epochs, batchSize, lr := m.defaults()
+
+	m.scaler = FitScaler(ds.X)
+	X := m.scaler.TransformAll(ds.X)
+	m.targets = fitTargetScaler(ds.Y)
+	Y := make([]float64, len(ds.Y))
+	for i, y := range ds.Y {
+		Y[i] = m.targets.scale(y)
+	}
+
+	rng := rand.New(rand.NewSource(m.Seed))
+	dims := append([]int{ds.Dim()}, hidden...)
+	dims = append(dims, 1)
+	m.layers = make([]denseLayer, len(dims)-1)
+	for l := range m.layers {
+		m.layers[l] = newDenseLayer(dims[l], dims[l+1], rng)
+	}
+	m.initScratch()
+
+	// Per-layer activation and delta buffers.
+	acts := make([][]float64, len(dims))
+	for i, d := range dims {
+		acts[i] = make([]float64, d)
+	}
+	deltas := make([][]float64, len(m.layers))
+	for l := range m.layers {
+		deltas[l] = make([]float64, m.layers[l].out)
+	}
+	grads := make([]denseGrads, len(m.layers))
+	for l := range m.layers {
+		grads[l] = newDenseGrads(m.layers[l])
+	}
+
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+
+	const beta1, beta2, adamEps = 0.9, 0.999, 1e-8
+	step := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for at := 0; at < len(order); at += batchSize {
+			end := at + batchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for l := range grads {
+				grads[l].zero()
+			}
+			for _, idx := range order[at:end] {
+				m.forward(X[idx], acts)
+				// Output delta: d(MSE)/d(out) = 2·(out − y), constant folded.
+				deltas[len(m.layers)-1][0] = acts[len(acts)-1][0] - Y[idx]
+				m.backward(acts, deltas, grads)
+			}
+			step++
+			scale := 1 / float64(end-at)
+			for l := range m.layers {
+				m.layers[l].adamStep(grads[l], scale, lr, beta1, beta2, adamEps, step)
+			}
+		}
+	}
+	return nil
+}
+
+func newDenseLayer(in, out int, rng *rand.Rand) denseLayer {
+	l := denseLayer{
+		in: in, out: out,
+		W:  make([]float64, in*out),
+		B:  make([]float64, out),
+		mW: make([]float64, in*out),
+		vW: make([]float64, in*out),
+		mB: make([]float64, out),
+		vB: make([]float64, out),
+	}
+	// He initialization for ReLU networks.
+	std := math.Sqrt(2 / float64(in))
+	for i := range l.W {
+		l.W[i] = rng.NormFloat64() * std
+	}
+	return l
+}
+
+type denseGrads struct {
+	W, B []float64
+}
+
+func newDenseGrads(l denseLayer) denseGrads {
+	return denseGrads{W: make([]float64, len(l.W)), B: make([]float64, len(l.B))}
+}
+
+func (g *denseGrads) zero() {
+	for i := range g.W {
+		g.W[i] = 0
+	}
+	for i := range g.B {
+		g.B[i] = 0
+	}
+}
+
+// forward computes all layer activations for one standardized input. acts[0]
+// receives the input; hidden layers apply ReLU; the final layer is linear.
+func (m *MLP) forward(x []float64, acts [][]float64) {
+	copy(acts[0], x)
+	for l := range m.layers {
+		lay := &m.layers[l]
+		in, out := acts[l], acts[l+1]
+		last := l == len(m.layers)-1
+		for o := 0; o < lay.out; o++ {
+			s := lay.B[o]
+			row := lay.W[o*lay.in : (o+1)*lay.in]
+			for i, v := range in {
+				s += row[i] * v
+			}
+			if !last && s < 0 {
+				s = 0
+			}
+			out[o] = s
+		}
+	}
+}
+
+// backward accumulates gradients given filled activations and the output
+// delta already stored in deltas[last].
+func (m *MLP) backward(acts, deltas [][]float64, grads []denseGrads) {
+	for l := len(m.layers) - 1; l >= 0; l-- {
+		lay := &m.layers[l]
+		in := acts[l]
+		delta := deltas[l]
+		g := &grads[l]
+		for o := 0; o < lay.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			g.B[o] += d
+			row := g.W[o*lay.in : (o+1)*lay.in]
+			for i, v := range in {
+				row[i] += d * v
+			}
+		}
+		if l == 0 {
+			continue
+		}
+		// Propagate delta through W and the previous ReLU.
+		prev := deltas[l-1]
+		for i := range prev {
+			prev[i] = 0
+		}
+		for o := 0; o < lay.out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			row := lay.W[o*lay.in : (o+1)*lay.in]
+			for i := range prev {
+				prev[i] += d * row[i]
+			}
+		}
+		for i := range prev {
+			if acts[l][i] <= 0 { // ReLU derivative
+				prev[i] = 0
+			}
+		}
+	}
+}
+
+func (l *denseLayer) adamStep(g denseGrads, scale, lr, beta1, beta2, eps float64, step int) {
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	for i := range l.W {
+		grad := g.W[i] * scale
+		l.mW[i] = beta1*l.mW[i] + (1-beta1)*grad
+		l.vW[i] = beta2*l.vW[i] + (1-beta2)*grad*grad
+		l.W[i] -= lr * (l.mW[i] / bc1) / (math.Sqrt(l.vW[i]/bc2) + eps)
+	}
+	for i := range l.B {
+		grad := g.B[i] * scale
+		l.mB[i] = beta1*l.mB[i] + (1-beta1)*grad
+		l.vB[i] = beta2*l.vB[i] + (1-beta2)*grad*grad
+		l.B[i] -= lr * (l.mB[i] / bc1) / (math.Sqrt(l.vB[i]/bc2) + eps)
+	}
+}
+
+func (m *MLP) initScratch() {
+	m.scratch = make([][]float64, len(m.layers)+1)
+	m.scratch[0] = make([]float64, m.layers[0].in)
+	for l := range m.layers {
+		m.scratch[l+1] = make([]float64, m.layers[l].out)
+	}
+}
+
+// Predict evaluates the network at one raw feature vector.
+func (m *MLP) Predict(x []float64) float64 {
+	if m.layers == nil {
+		panic("ml: MLP.Predict before Fit")
+	}
+	if len(x) != m.layers[0].in {
+		panic(fmt.Sprintf("ml: MLP input width %d, want %d", len(x), m.layers[0].in))
+	}
+	m.scaler.TransformTo(m.scratch[0], x)
+	m.forward(m.scratch[0], m.scratch)
+	return m.targets.unscale(m.scratch[len(m.scratch)-1][0])
+}
+
+// PredictBatch evaluates the network over a batch of raw feature vectors —
+// the batched evaluation the paper's multi-way search feeds the duration
+// model (§6.3).
+func (m *MLP) PredictBatch(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	for i, x := range X {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// ParamCount returns the number of trainable parameters (the paper's §7.8
+// predictor-footprint accounting: weights ≈ 14 kB).
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, l := range m.layers {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package ml
+
+import "math"
+
+// Scaler standardizes feature vectors to zero mean and unit variance.
+// Constant features keep a standard deviation of 1 so they map to zero.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes per-feature statistics over X.
+func FitScaler(X [][]float64) *Scaler {
+	if len(X) == 0 {
+		return &Scaler{}
+	}
+	dim := len(X[0])
+	s := &Scaler{Mean: make([]float64, dim), Std: make([]float64, dim)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Transform returns a standardized copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	s.TransformTo(out, x)
+	return out
+}
+
+// TransformTo standardizes x into dst (for allocation-free hot paths).
+func (s *Scaler) TransformTo(dst, x []float64) {
+	for j, v := range x {
+		dst[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+}
+
+// TransformAll standardizes every row of X into a new matrix.
+func (s *Scaler) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// targetScaler standardizes the regression target.
+type targetScaler struct {
+	mean, std float64
+}
+
+func fitTargetScaler(y []float64) targetScaler {
+	var m float64
+	for _, v := range y {
+		m += v
+	}
+	if len(y) > 0 {
+		m /= float64(len(y))
+	}
+	var ss float64
+	for _, v := range y {
+		d := v - m
+		ss += d * d
+	}
+	std := 1.0
+	if len(y) > 0 {
+		std = math.Sqrt(ss / float64(len(y)))
+	}
+	if std < 1e-12 {
+		std = 1
+	}
+	return targetScaler{mean: m, std: std}
+}
+
+func (t targetScaler) scale(y float64) float64   { return (y - t.mean) / t.std }
+func (t targetScaler) unscale(y float64) float64 { return y*t.std + t.mean }

@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// SVR is a linear support vector regressor trained by stochastic
+// subgradient descent on the ε-insensitive loss with L2 regularization —
+// the paper's second baseline duration model (§5.5, "SVM").
+type SVR struct {
+	// C is the slack weight (default 1).
+	C float64
+	// Epsilon is the insensitive-tube half width in standardized target
+	// units (default 0.05).
+	Epsilon float64
+	// Epochs is the number of passes over the data (default 200).
+	Epochs int
+	// LearningRate is the initial step size (default 0.05), decayed as 1/√t.
+	LearningRate float64
+	// Seed drives the shuffling; fits are deterministic given Seed.
+	Seed int64
+
+	scaler  *Scaler
+	targets targetScaler
+	w       []float64
+	bias    float64
+}
+
+func (m *SVR) defaults() (c, eps, lr float64, epochs int) {
+	c, eps, lr, epochs = m.C, m.Epsilon, m.LearningRate, m.Epochs
+	if c <= 0 {
+		c = 1
+	}
+	if eps <= 0 {
+		eps = 0.05
+	}
+	if lr <= 0 {
+		lr = 0.05
+	}
+	if epochs <= 0 {
+		epochs = 200
+	}
+	return c, eps, lr, epochs
+}
+
+// Fit trains the regressor. Features and targets are standardized
+// internally.
+func (m *SVR) Fit(ds Dataset) error {
+	if err := ds.Validate(); err != nil {
+		return err
+	}
+	if ds.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	c, eps, lr0, epochs := m.defaults()
+
+	m.scaler = FitScaler(ds.X)
+	X := m.scaler.TransformAll(ds.X)
+	m.targets = fitTargetScaler(ds.Y)
+	Y := make([]float64, len(ds.Y))
+	for i, y := range ds.Y {
+		Y[i] = m.targets.scale(y)
+	}
+
+	d := ds.Dim()
+	m.w = make([]float64, d)
+	m.bias = 0
+	rng := rand.New(rand.NewSource(m.Seed))
+	order := make([]int, len(X))
+	for i := range order {
+		order[i] = i
+	}
+
+	lambda := 1 / (c * float64(len(X)))
+	step := 0
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, idx := range order {
+			step++
+			lr := lr0 / (1 + lr0*lambda*float64(step))
+			x, y := X[idx], Y[idx]
+			pred := m.bias
+			for j, v := range x {
+				pred += m.w[j] * v
+			}
+			resid := pred - y
+			// Subgradient of ε-insensitive loss.
+			var g float64
+			switch {
+			case resid > eps:
+				g = 1
+			case resid < -eps:
+				g = -1
+			}
+			for j := range m.w {
+				m.w[j] -= lr * (lambda*m.w[j] + g*x[j])
+			}
+			m.bias -= lr * g
+		}
+	}
+	return nil
+}
+
+// Predict evaluates the fitted regressor at a raw feature vector.
+func (m *SVR) Predict(x []float64) float64 {
+	if m.w == nil {
+		panic("ml: SVR.Predict before Fit")
+	}
+	out := m.bias
+	for j, v := range x {
+		out += m.w[j] * (v - m.scaler.Mean[j]) / m.scaler.Std[j]
+	}
+	return m.targets.unscale(out)
+}

@@ -1,0 +1,129 @@
+package predictor
+
+import (
+	"fmt"
+	"sort"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+)
+
+// This file implements the profiling-scalability analysis of §7.8: given N
+// DNNs, Abacus partitions them into service groups of size k so that only
+// same-group models are co-deployed, reducing profiling complexity from
+// O(N²) to O(N). Pairs whose co-located latency always equals sequential
+// execution (e.g. VGG16+VGG19) are avoided, because deterministic overlap
+// cannot buy them anything.
+
+// OverlapGain returns the co-location benefit of a model pair at the given
+// input scale: (sum of solo latencies) / (co-run makespan) of one full
+// query each, measured on a private device. A gain near 1 means the pair
+// degenerates to time-sharing.
+func OverlapGain(a, b dnn.ModelID, batch int, p gpusim.Profile) float64 {
+	ea := fullEntry(a, batch)
+	eb := fullEntry(b, batch)
+	solo := Measure(Group{ea}, p, 0, 0) + Measure(Group{eb}, p, 0, 0)
+	co := Measure(Group{ea, eb}, p, 0, 0)
+	if co <= 0 {
+		return 1
+	}
+	return solo / co
+}
+
+func fullEntry(id dnn.ModelID, batch int) Entry {
+	m := dnn.Get(id)
+	e := Entry{Model: id, OpStart: 0, OpEnd: m.NumOps(), Batch: batch}
+	if m.IsSequence() {
+		e.SeqLen = m.SeqLens[len(m.SeqLens)-1]
+	}
+	return e
+}
+
+// AffinityMatrix returns the symmetric pairwise overlap-gain matrix of the
+// models at the given batch size. The diagonal is 1.
+func AffinityMatrix(models []dnn.ModelID, batch int, p gpusim.Profile) [][]float64 {
+	n := len(models)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		m[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g := OverlapGain(models[i], models[j], batch, p)
+			m[i][j] = g
+			m[j][i] = g
+		}
+	}
+	return m
+}
+
+// PartitionServices divides the models into groups of at most groupSize,
+// greedily maximizing intra-group overlap gain: each group is seeded with
+// the model that has the least total affinity remaining (hardest to place)
+// and filled with its best partners. Only same-group models need pairwise
+// profiling, which is the paper's O(N) profiling scheme.
+func PartitionServices(models []dnn.ModelID, groupSize int, batch int, p gpusim.Profile) [][]dnn.ModelID {
+	if groupSize < 1 {
+		panic(fmt.Sprintf("predictor: group size %d", groupSize))
+	}
+	affinity := AffinityMatrix(models, batch, p)
+	return partitionByAffinity(models, affinity, groupSize)
+}
+
+// partitionByAffinity is the pure grouping step, split out for testing.
+func partitionByAffinity(models []dnn.ModelID, affinity [][]float64, groupSize int) [][]dnn.ModelID {
+	n := len(models)
+	unassigned := make(map[int]bool, n)
+	for i := range models {
+		unassigned[i] = true
+	}
+	var groups [][]dnn.ModelID
+	for len(unassigned) > 0 {
+		// Seed: the unassigned model with the lowest total remaining
+		// affinity (deterministic tie-break on index).
+		seed, seedScore := -1, 0.0
+		for _, i := range sortedKeys(unassigned) {
+			var s float64
+			for _, j := range sortedKeys(unassigned) {
+				if i != j {
+					s += affinity[i][j]
+				}
+			}
+			if seed == -1 || s < seedScore {
+				seed, seedScore = i, s
+			}
+		}
+		group := []int{seed}
+		delete(unassigned, seed)
+		for len(group) < groupSize && len(unassigned) > 0 {
+			best, bestScore := -1, 0.0
+			for _, cand := range sortedKeys(unassigned) {
+				var s float64
+				for _, member := range group {
+					s += affinity[member][cand]
+				}
+				if best == -1 || s > bestScore {
+					best, bestScore = cand, s
+				}
+			}
+			group = append(group, best)
+			delete(unassigned, best)
+		}
+		ids := make([]dnn.ModelID, len(group))
+		for gi, i := range group {
+			ids[gi] = models[i]
+		}
+		groups = append(groups, ids)
+	}
+	return groups
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,128 @@
+package predictor
+
+import (
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+)
+
+func TestOverlapGainRegimes(t *testing.T) {
+	p := gpusim.A100Profile()
+	resPair := OverlapGain(dnn.ResNet152, dnn.InceptionV3, 16, p)
+	vggPair := OverlapGain(dnn.VGG16, dnn.VGG19, 32, p)
+	t.Logf("gain (Res152,IncepV3)=%.3f (VGG16,VGG19)=%.3f", resPair, vggPair)
+	if resPair < 1.2 {
+		t.Errorf("(Res152,IncepV3) gain %.3f; expected clear overlap benefit", resPair)
+	}
+	if vggPair > 1.15 {
+		t.Errorf("(VGG16,VGG19) gain %.3f; expected near time-sharing", vggPair)
+	}
+	if resPair <= vggPair {
+		t.Errorf("affinity ordering inverted: %.3f <= %.3f", resPair, vggPair)
+	}
+}
+
+func TestAffinityMatrixSymmetric(t *testing.T) {
+	p := gpusim.A100Profile()
+	models := []dnn.ModelID{dnn.ResNet50, dnn.VGG16, dnn.Bert}
+	m := AffinityMatrix(models, 16, p)
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Errorf("diagonal [%d] = %v", i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] {
+				t.Errorf("asymmetric at (%d,%d): %v vs %v", i, j, m[i][j], m[j][i])
+			}
+			if m[i][j] < 0.8 || m[i][j] > 3 {
+				t.Errorf("gain (%d,%d) = %v out of plausible range", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestPartitionByAffinityGrouping(t *testing.T) {
+	models := []dnn.ModelID{0, 1, 2, 3}
+	// Models 0,1 love each other; 2,3 love each other; cross pairs are
+	// useless. Expect exactly those two groups.
+	affinity := [][]float64{
+		{1.0, 1.5, 1.0, 1.0},
+		{1.5, 1.0, 1.0, 1.0},
+		{1.0, 1.0, 1.0, 1.5},
+		{1.0, 1.0, 1.5, 1.0},
+	}
+	groups := partitionByAffinity(models, affinity, 2)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups: %v", len(groups), groups)
+	}
+	pairKey := func(g []dnn.ModelID) [2]dnn.ModelID {
+		if g[0] > g[1] {
+			g[0], g[1] = g[1], g[0]
+		}
+		return [2]dnn.ModelID{g[0], g[1]}
+	}
+	seen := map[[2]dnn.ModelID]bool{}
+	for _, g := range groups {
+		if len(g) != 2 {
+			t.Fatalf("group size %d: %v", len(g), g)
+		}
+		seen[pairKey(g)] = true
+	}
+	if !seen[[2]dnn.ModelID{0, 1}] || !seen[[2]dnn.ModelID{2, 3}] {
+		t.Errorf("grouping %v ignored affinity structure", groups)
+	}
+}
+
+func TestPartitionCoversAllModelsOnce(t *testing.T) {
+	models := []dnn.ModelID{0, 1, 2, 3, 4, 5, 6}
+	affinity := make([][]float64, len(models))
+	for i := range affinity {
+		affinity[i] = make([]float64, len(models))
+		for j := range affinity[i] {
+			affinity[i][j] = 1 + 0.01*float64(i+j)
+		}
+	}
+	for _, size := range []int{1, 2, 3, 4} {
+		groups := partitionByAffinity(models, affinity, size)
+		seen := map[dnn.ModelID]int{}
+		for _, g := range groups {
+			if len(g) > size {
+				t.Errorf("size %d: group %v too large", size, g)
+			}
+			for _, m := range g {
+				seen[m]++
+			}
+		}
+		if len(seen) != len(models) {
+			t.Errorf("size %d: covered %d models", size, len(seen))
+		}
+		for m, n := range seen {
+			if n != 1 {
+				t.Errorf("size %d: model %v placed %d times", size, m, n)
+			}
+		}
+	}
+}
+
+func TestPartitionServicesBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	PartitionServices([]dnn.ModelID{dnn.ResNet50}, 0, 16, gpusim.A100Profile())
+}
+
+func TestPartitionServicesSeparatesVGGs(t *testing.T) {
+	// The §7.8 criterion: VGG16 and VGG19 gain nothing from co-location and
+	// should land in different groups when alternatives exist.
+	p := gpusim.A100Profile()
+	models := []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG16, dnn.VGG19}
+	groups := PartitionServices(models, 2, 16, p)
+	for _, g := range groups {
+		if len(g) == 2 && ((g[0] == dnn.VGG16 && g[1] == dnn.VGG19) || (g[0] == dnn.VGG19 && g[1] == dnn.VGG16)) {
+			t.Errorf("VGG16 and VGG19 co-grouped despite near-zero overlap gain: %v", groups)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package predictor
+
+import (
+	"fmt"
+
+	"abacus/internal/dnn"
+)
+
+// MaxCoLocated is the largest co-location degree the feature encoding
+// supports; the paper evaluates up to quadruplet-wise deployment (§7.4).
+const MaxCoLocated = 4
+
+// Codec encodes operator groups into the fixed-width feature vectors of
+// Figure 8: an N-bit multi-hot model bitmap followed by MaxCoLocated slots
+// of (opStart, opEnd, batch, seqlen), slots filled in ascending model-id
+// order. One codec (and one trained model) covers every combination — the
+// paper's unified-model conclusion (§5.5).
+type Codec struct {
+	NumModels int
+	Slots     int
+}
+
+// NewCodec returns the default codec over the full zoo.
+func NewCodec() Codec {
+	return Codec{NumModels: int(dnn.NumModels), Slots: MaxCoLocated}
+}
+
+// Width returns the feature vector length.
+func (c Codec) Width() int { return c.NumModels + 4*c.Slots }
+
+// Encode builds the feature vector for a group. It panics if the group is
+// invalid or exceeds the slot count: groups are produced by the controller
+// and sampler, so that is a programming error.
+func (c Codec) Encode(g Group) []float64 {
+	out := make([]float64, c.Width())
+	c.EncodeTo(out, g)
+	return out
+}
+
+// EncodeTo encodes into dst, which must have length Width(). Useful for
+// allocation-free batched search.
+func (c Codec) EncodeTo(dst []float64, g Group) {
+	if len(dst) != c.Width() {
+		panic(fmt.Sprintf("predictor: EncodeTo dst width %d, want %d", len(dst), c.Width()))
+	}
+	if len(g) > c.Slots {
+		panic(fmt.Sprintf("predictor: group size %d exceeds %d slots", len(g), c.Slots))
+	}
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for slot, e := range g.sorted() {
+		if int(e.Model) >= c.NumModels {
+			panic(fmt.Sprintf("predictor: model id %d outside codec's %d models", e.Model, c.NumModels))
+		}
+		dst[e.Model] = 1
+		base := c.NumModels + 4*slot
+		dst[base+0] = float64(e.OpStart)
+		dst[base+1] = float64(e.OpEnd)
+		dst[base+2] = float64(e.Batch)
+		dst[base+3] = float64(e.SeqLen)
+	}
+}
+
+// Decode reverses Encode for testing and diagnostics. Slot order carries no
+// model identity beyond the bitmap, so Decode relies on the canonical
+// ascending-model slot order that Encode produces.
+func (c Codec) Decode(x []float64) (Group, error) {
+	if len(x) != c.Width() {
+		return nil, fmt.Errorf("predictor: decode width %d, want %d", len(x), c.Width())
+	}
+	var models []dnn.ModelID
+	for id := 0; id < c.NumModels; id++ {
+		if x[id] != 0 {
+			models = append(models, dnn.ModelID(id))
+		}
+	}
+	var g Group
+	for slot, id := range models {
+		base := c.NumModels + 4*slot
+		g = append(g, Entry{
+			Model:   id,
+			OpStart: int(x[base+0]),
+			OpEnd:   int(x[base+1]),
+			Batch:   int(x[base+2]),
+			SeqLen:  int(x[base+3]),
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,84 @@
+package predictor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+)
+
+// TestMeasureBounds checks the physical bounds of group latency over
+// randomly sampled groups: a co-run can never beat the slowest member's
+// solo span (interference monotonicity) and never exceeds running the spans
+// back to back (fair sharing is work-conserving across the group).
+func TestMeasureBounds(t *testing.T) {
+	p := gpusim.A100Profile()
+	s := NewSampler(DefaultSamplerConfig())
+	combos := [][]dnn.ModelID{
+		{dnn.ResNet50, dnn.VGG19},
+		{dnn.ResNet152, dnn.InceptionV3, dnn.Bert},
+		{dnn.ResNet101, dnn.ResNet152, dnn.VGG16, dnn.Bert},
+	}
+	for _, combo := range combos {
+		for i := 0; i < 15; i++ {
+			g := s.SampleGroup(combo)
+			co := Measure(g, p, 0, 0)
+			var maxSolo, sumSolo float64
+			for _, e := range g {
+				solo := Measure(Group{e}, p, 0, 0)
+				sumSolo += solo
+				if solo > maxSolo {
+					maxSolo = solo
+				}
+			}
+			if co < maxSolo-1e-9 {
+				t.Fatalf("combo %v: co-run %v faster than slowest member solo %v", combo, co, maxSolo)
+			}
+			if co > sumSolo+1e-9 {
+				t.Fatalf("combo %v: co-run %v slower than sequential %v", combo, co, sumSolo)
+			}
+		}
+	}
+}
+
+// TestMeasureMonotoneInSpan verifies that extending one member's span never
+// shortens the group latency — the monotonicity the multi-way search
+// depends on.
+func TestMeasureMonotoneInSpan(t *testing.T) {
+	p := gpusim.A100Profile()
+	m := dnn.Get(dnn.InceptionV3)
+	base := Group{{Model: dnn.ResNet152, OpStart: 0, OpEnd: 200, Batch: 16}}
+	f := func(endRaw uint16, extraRaw uint8) bool {
+		end := int(endRaw)%(m.NumOps()-1) + 1
+		extra := int(extraRaw)%(m.NumOps()-end) + 0
+		short := append(append(Group{}, base...), Entry{Model: dnn.InceptionV3, OpStart: 0, OpEnd: end, Batch: 16})
+		long := append(append(Group{}, base...), Entry{Model: dnn.InceptionV3, OpStart: 0, OpEnd: end + extra, Batch: 16})
+		return Measure(long, p, 0, 0) >= Measure(short, p, 0, 0)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(21))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeasureMonotoneInBatch verifies group latency grows with any member's
+// batch size.
+func TestMeasureMonotoneInBatch(t *testing.T) {
+	p := gpusim.A100Profile()
+	m50 := dnn.Get(dnn.ResNet50)
+	for _, other := range []int{4, 32} {
+		prev := 0.0
+		for _, batch := range dnn.Batches() {
+			g := Group{
+				{Model: dnn.ResNet50, OpStart: 0, OpEnd: m50.NumOps(), Batch: batch},
+				{Model: dnn.VGG16, OpStart: 0, OpEnd: 20, Batch: other},
+			}
+			lat := Measure(g, p, 0, 0)
+			if lat < prev-1e-9 {
+				t.Fatalf("latency decreased with batch (other=%d): %v after %v", other, lat, prev)
+			}
+			prev = lat
+		}
+	}
+}

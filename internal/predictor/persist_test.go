@@ -1,0 +1,77 @@
+package predictor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"abacus/internal/dnn"
+)
+
+func trainedForPersist(t *testing.T, logTarget bool) (*Predictor, []Sample) {
+	t.Helper()
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := Collect([]dnn.ModelID{dnn.ResNet50, dnn.InceptionV3}, 2, 80, cfg)
+	tc := TrainConfig{Technique: TechMLP, Epochs: 40, LogTarget: logTarget, Seed: 1}
+	p, err := Train(samples, NewCodec(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, samples
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, logTarget := range []bool{false, true} {
+		p, samples := trainedForPersist(t, logTarget)
+		var buf bytes.Buffer
+		if err := p.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 20; i++ {
+			g := samples[i].Group
+			if got, want := loaded.Predict(g), p.Predict(g); got != want {
+				t.Fatalf("logTarget=%v sample %d: loaded %v != original %v", logTarget, i, got, want)
+			}
+		}
+		// Batched predictions must survive the round trip too.
+		groups := []Group{samples[0].Group, samples[1].Group}
+		a, b := loaded.PredictBatch(groups), p.PredictBatch(groups)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("batch[%d] %v != %v", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSaveRejectsNonMLP(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := Collect([]dnn.ModelID{dnn.ResNet50, dnn.InceptionV3}, 2, 30, cfg)
+	p, err := Train(samples, NewCodec(), TrainConfig{Technique: TechLinearRegression, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&bytes.Buffer{}); err == nil {
+		t.Error("persisting a linear model should error")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"{not json",
+		`{"num_models":0,"slots":4,"mlp":{}}`,
+		`{"num_models":7,"slots":4,"mlp":{"dims":[3],"weights":[],"biases":[]}}`,
+		`{"num_models":7,"slots":4,"mlp":{"dims":[3,1],"weights":[[1,2]],"biases":[[0]]}}`,
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: corrupt state accepted", i)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package predictor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/stats"
+)
+
+func pairRes50Res152(batch int) Group {
+	m50, m152 := dnn.Get(dnn.ResNet50), dnn.Get(dnn.ResNet152)
+	return Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: m50.NumOps(), Batch: batch},
+		{Model: dnn.ResNet152, OpStart: 0, OpEnd: m152.NumOps(), Batch: batch},
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	n := dnn.Get(dnn.ResNet50).NumOps()
+	cases := []struct {
+		name string
+		e    Entry
+		ok   bool
+	}{
+		{"valid", Entry{Model: dnn.ResNet50, OpStart: 0, OpEnd: n, Batch: 8}, true},
+		{"empty-span", Entry{Model: dnn.ResNet50, OpStart: 5, OpEnd: 5, Batch: 8}, false},
+		{"reversed", Entry{Model: dnn.ResNet50, OpStart: 9, OpEnd: 3, Batch: 8}, false},
+		{"past-end", Entry{Model: dnn.ResNet50, OpStart: 0, OpEnd: n + 1, Batch: 8}, false},
+		{"zero-batch", Entry{Model: dnn.ResNet50, OpStart: 0, OpEnd: n, Batch: 0}, false},
+		{"bert-no-seq", Entry{Model: dnn.Bert, OpStart: 0, OpEnd: 10, Batch: 8}, false},
+		{"bert-ok", Entry{Model: dnn.Bert, OpStart: 0, OpEnd: 10, Batch: 8, SeqLen: 16}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.e.Validate(); (err == nil) != c.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestGroupValidateRejectsDuplicateModels(t *testing.T) {
+	g := Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: 5, Batch: 8},
+		{Model: dnn.ResNet50, OpStart: 5, OpEnd: 9, Batch: 8},
+	}
+	if g.Validate() == nil {
+		t.Error("duplicate model not rejected")
+	}
+}
+
+func TestMeasureDeterministicWithoutNoise(t *testing.T) {
+	p := gpusim.A100Profile()
+	g := pairRes50Res152(16)
+	a := Measure(g, p, 0, 0)
+	b := Measure(g, p, 0, 99)
+	if a != b {
+		t.Errorf("noise-free measurements differ: %v vs %v", a, b)
+	}
+	if a <= 0 {
+		t.Errorf("latency %v must be positive", a)
+	}
+}
+
+func TestMeasureEmptyGroup(t *testing.T) {
+	if got := Measure(Group{}, gpusim.A100Profile(), 0, 0); got != 0 {
+		t.Errorf("empty group latency %v, want 0", got)
+	}
+}
+
+func TestMeasureOverlapBeatsSequential(t *testing.T) {
+	p := gpusim.A100Profile()
+	g := pairRes50Res152(16)
+	co := Measure(g, p, 0, 0)
+	seq := Measure(g[:1], p, 0, 0) + Measure(g[1:], p, 0, 0)
+	if co >= seq {
+		t.Errorf("co-run %v not faster than sequential %v", co, seq)
+	}
+}
+
+// TestGroupLatencyDeterminism reproduces the §5.2 finding on the substrate:
+// across noisy repetitions, group latency stddevs stay well below the
+// latencies themselves.
+func TestGroupLatencyDeterminism(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 20
+	s := NewSampler(cfg)
+	var ratios []float64
+	for i := 0; i < 30; i++ {
+		g := s.SampleGroup([]dnn.ModelID{dnn.ResNet101, dnn.VGG16})
+		sample := s.MeasureSample(g)
+		if sample.Latency <= 0 {
+			t.Fatalf("group %d latency %v", i, sample.Latency)
+		}
+		ratios = append(ratios, sample.StdDev/sample.Latency)
+	}
+	if avg := stats.Mean(ratios); avg > 0.05 {
+		t.Errorf("mean stddev/latency = %.3f, want < 5%% (paper: 4.53%%)", avg)
+	}
+}
+
+func TestCodecWidth(t *testing.T) {
+	c := NewCodec()
+	if c.Width() != int(dnn.NumModels)+16 {
+		t.Errorf("Width = %d, want %d", c.Width(), int(dnn.NumModels)+16)
+	}
+}
+
+func TestCodecEncodeLayout(t *testing.T) {
+	c := NewCodec()
+	g := Group{
+		// Deliberately unsorted: VGG16 (4) before Res50 (0).
+		{Model: dnn.VGG16, OpStart: 3, OpEnd: 9, Batch: 16},
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: 7, Batch: 4},
+	}
+	x := c.Encode(g)
+	if x[int(dnn.ResNet50)] != 1 || x[int(dnn.VGG16)] != 1 {
+		t.Error("bitmap bits not set")
+	}
+	base := c.NumModels
+	// Slot 0 must be Res50 (lower id) despite input order.
+	if x[base] != 0 || x[base+1] != 7 || x[base+2] != 4 || x[base+3] != 0 {
+		t.Errorf("slot 0 = %v, want Res50 [0 7 4 0]", x[base:base+4])
+	}
+	if x[base+4] != 3 || x[base+5] != 9 || x[base+6] != 16 {
+		t.Errorf("slot 1 = %v, want VGG16 [3 9 16 0]", x[base+4:base+8])
+	}
+	for _, v := range x[base+8:] {
+		if v != 0 {
+			t.Errorf("unused slots non-zero: %v", x[base+8:])
+			break
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := NewCodec()
+	cfg := DefaultSamplerConfig()
+	s := NewSampler(cfg)
+	combos := Combinations([]dnn.ModelID{dnn.ResNet50, dnn.ResNet152, dnn.VGG19, dnn.Bert}, 2)
+	for _, combo := range combos {
+		for i := 0; i < 10; i++ {
+			g := s.SampleGroup(combo).sorted()
+			got, err := c.Decode(c.Encode(g))
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if len(got) != len(g) {
+				t.Fatalf("round trip size %d != %d", len(got), len(g))
+			}
+			for j := range g {
+				if got[j] != g[j] {
+					t.Fatalf("entry %d: %+v != %+v", j, got[j], g[j])
+				}
+			}
+		}
+	}
+}
+
+func TestCodecEncodePanics(t *testing.T) {
+	c := NewCodec()
+	tooMany := make(Group, MaxCoLocated+1)
+	for i := range tooMany {
+		tooMany[i] = Entry{Model: dnn.ModelID(i), OpStart: 0, OpEnd: 1, Batch: 4}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversize group did not panic")
+			}
+		}()
+		c.Encode(tooMany)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad dst width did not panic")
+			}
+		}()
+		c.EncodeTo(make([]float64, 3), Group{})
+	}()
+}
+
+func TestCombinations(t *testing.T) {
+	models := []dnn.ModelID{0, 1, 2, 3}
+	c2 := Combinations(models, 2)
+	if len(c2) != 6 {
+		t.Errorf("C(4,2) = %d, want 6", len(c2))
+	}
+	c4 := Combinations(models, 4)
+	if len(c4) != 1 || len(c4[0]) != 4 {
+		t.Errorf("C(4,4) wrong: %v", c4)
+	}
+	all := Combinations(zooIDs(), 2)
+	if len(all) != 21 {
+		t.Errorf("C(7,2) = %d, want 21 (the paper's pair count)", len(all))
+	}
+}
+
+func zooIDs() []dnn.ModelID {
+	ids := make([]dnn.ModelID, dnn.NumModels)
+	for i := range ids {
+		ids[i] = dnn.ModelID(i)
+	}
+	return ids
+}
+
+func TestSamplerProducesValidGroups(t *testing.T) {
+	s := NewSampler(DefaultSamplerConfig())
+	combos := [][]dnn.ModelID{
+		{dnn.ResNet50},
+		{dnn.ResNet50, dnn.Bert},
+		{dnn.ResNet101, dnn.VGG16, dnn.Bert},
+		{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert},
+	}
+	for _, combo := range combos {
+		for i := 0; i < 50; i++ {
+			g := s.SampleGroup(combo)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("combo %v sample %d: %v", combo, i, err)
+			}
+			if len(g) != len(combo) {
+				t.Fatalf("group size %d, want %d", len(g), len(combo))
+			}
+			// Instance-based principle 1: at least one member completes.
+			completes := false
+			for _, e := range g {
+				if e.OpEnd == dnn.Get(e.Model).NumOps() {
+					completes = true
+				}
+				// Every member is "completing" or "new".
+				if e.OpStart != 0 && e.OpEnd != dnn.Get(e.Model).NumOps() {
+					t.Fatalf("entry %+v is neither new nor completing", e)
+				}
+			}
+			if !completes {
+				t.Fatal("no member completes in the sampled group")
+			}
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	a := NewSampler(cfg).SampleGroup([]dnn.ModelID{dnn.ResNet50, dnn.VGG19})
+	b := NewSampler(cfg).SampleGroup([]dnn.ModelID{dnn.ResNet50, dnn.VGG19})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different samples: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestCollectCounts(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 1
+	models := []dnn.ModelID{dnn.ResNet50, dnn.InceptionV3, dnn.Bert}
+	samples := Collect(models, 2, 4, cfg)
+	if len(samples) != 3*4 { // C(3,2) × 4
+		t.Errorf("got %d samples, want 12", len(samples))
+	}
+	for _, s := range samples {
+		if s.Latency <= 0 {
+			t.Errorf("non-positive latency %v", s.Latency)
+		}
+	}
+}
+
+func TestSaveLoadSamples(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := Collect([]dnn.ModelID{dnn.ResNet50, dnn.VGG16}, 2, 5, cfg)
+	var buf bytes.Buffer
+	if err := SaveSamples(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("round trip length %d != %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i].Latency != samples[i].Latency || len(got[i].Group) != len(samples[i].Group) {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestLoadSamplesRejectsCorrupt(t *testing.T) {
+	if _, err := LoadSamples(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+	if _, err := LoadSamples(bytes.NewBufferString(`[{"Group":[{"Model":0,"OpStart":5,"OpEnd":2,"Batch":4}],"Latency":1}]`)); err == nil {
+		t.Error("invalid span accepted")
+	}
+}
+
+// TestPredictorAccuracyRanking is the package's key integration check: on
+// real collected samples the MLP achieves single-digit MAPE and beats both
+// baselines, reproducing the §5.5 ranking.
+func TestPredictorAccuracyRanking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is seconds-long; skipped in -short")
+	}
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 3
+	models := []dnn.ModelID{dnn.ResNet50, dnn.ResNet152, dnn.VGG16, dnn.Bert}
+	samples := Collect(models, 2, 250, cfg)
+	codec := NewCodec()
+
+	_, mlpErr, err := TrainEval(samples, codec, TrainConfig{Technique: TechMLP, Epochs: 300, LogTarget: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, lrErr, err := TrainEval(samples, codec, TrainConfig{Technique: TechLinearRegression, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, svrErr, err := TrainEval(samples, codec, TrainConfig{Technique: TechSVR, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("MAPE: MLP=%.3f LR=%.3f SVR=%.3f", mlpErr, lrErr, svrErr)
+	// 250 samples/pair keeps the test fast; at the paper's 2000/pair the
+	// MLP reaches ~6% (see the Figure 10 experiment).
+	if mlpErr > 0.16 {
+		t.Errorf("MLP MAPE %.3f too high (paper regime: ~5.5%% at full sampling)", mlpErr)
+	}
+	if mlpErr >= lrErr || mlpErr >= svrErr {
+		t.Errorf("MLP (%.3f) should beat LR (%.3f) and SVR (%.3f)", mlpErr, lrErr, svrErr)
+	}
+}
+
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := Collect([]dnn.ModelID{dnn.ResNet50, dnn.InceptionV3}, 2, 60, cfg)
+	p, err := Train(samples, NewCodec(), TrainConfig{Technique: TechMLP, Epochs: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := make([]Group, 10)
+	for i := range groups {
+		groups[i] = samples[i].Group
+	}
+	batch := p.PredictBatch(groups)
+	for i, g := range groups {
+		if batch[i] != p.Predict(g) {
+			t.Fatalf("batch[%d] differs from Predict", i)
+		}
+	}
+}
+
+func TestTrainErrorsOnEmpty(t *testing.T) {
+	if _, err := Train(nil, NewCodec(), TrainConfig{Technique: TechMLP}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestTechniqueString(t *testing.T) {
+	if TechMLP.String() != "MLP" || TechSVR.String() != "SVM" || TechLinearRegression.String() != "Linear Regression" {
+		t.Error("technique names wrong")
+	}
+}
+
+// Property: encoding is permutation-invariant — entry order in the group
+// does not change the feature vector.
+func TestEncodePermutationInvariance(t *testing.T) {
+	c := NewCodec()
+	s := NewSampler(DefaultSamplerConfig())
+	f := func(seed int64) bool {
+		g := s.SampleGroup([]dnn.ModelID{dnn.ResNet50, dnn.VGG19, dnn.Bert})
+		rng := rand.New(rand.NewSource(seed))
+		shuffled := append(Group(nil), g...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a, b := c.Encode(g), c.Encode(shuffled)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

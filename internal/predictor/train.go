@@ -1,0 +1,222 @@
+package predictor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"abacus/internal/ml"
+	"abacus/internal/stats"
+)
+
+// Technique selects the duration-model family the paper compares in §5.5.
+type Technique int
+
+// The three candidate modeling techniques of Figure 10.
+const (
+	TechLinearRegression Technique = iota
+	TechSVR
+	TechMLP
+)
+
+// String returns the paper's label for the technique.
+func (t Technique) String() string {
+	switch t {
+	case TechLinearRegression:
+		return "Linear Regression"
+	case TechSVR:
+		return "SVM"
+	case TechMLP:
+		return "MLP"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// TrainConfig controls duration-model training.
+type TrainConfig struct {
+	Technique Technique
+	// Epochs for the iterative models (MLP/SVR); zero uses their defaults
+	// (600 for the MLP).
+	Epochs int
+	// LogTarget trains on log-latency and exponentiates predictions. The
+	// simulated latency surface spans a wider dynamic range than the
+	// paper's testbed, and relative (MAPE) accuracy benefits from the log
+	// transform.
+	LogTarget bool
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultTrainConfig returns the settings used by the experiments: the
+// paper's 3×32 MLP trained on log-latency.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Technique: TechMLP, LogTarget: true, Seed: 1}
+}
+
+// BuildDataset encodes samples into an ml.Dataset with the codec.
+func BuildDataset(samples []Sample, codec Codec) ml.Dataset {
+	var ds ml.Dataset
+	for _, s := range samples {
+		ds.Append(codec.Encode(s.Group), s.Latency)
+	}
+	return ds
+}
+
+// newRegressor instantiates the configured technique.
+func newRegressor(cfg TrainConfig) ml.Regressor {
+	var inner ml.Regressor
+	switch cfg.Technique {
+	case TechLinearRegression:
+		inner = &ml.LinearRegression{Ridge: 1e-6}
+	case TechSVR:
+		inner = &ml.SVR{Epochs: cfg.Epochs, Seed: cfg.Seed}
+	case TechMLP:
+		epochs := cfg.Epochs
+		if epochs == 0 {
+			epochs = 600
+		}
+		inner = &ml.MLP{Epochs: epochs, LearningRate: 3e-3, Seed: cfg.Seed}
+	default:
+		panic(fmt.Sprintf("predictor: unknown technique %d", cfg.Technique))
+	}
+	if cfg.LogTarget {
+		return &logModel{inner: inner}
+	}
+	return inner
+}
+
+// logModel trains its inner regressor on log-latency and exponentiates
+// predictions, improving relative accuracy over a wide latency range.
+type logModel struct {
+	inner ml.Regressor
+}
+
+// Fit implements ml.Regressor.
+func (m *logModel) Fit(ds ml.Dataset) error {
+	ly := make([]float64, len(ds.Y))
+	for i, y := range ds.Y {
+		if y <= 0 {
+			return fmt.Errorf("predictor: non-positive latency %v at sample %d", y, i)
+		}
+		ly[i] = math.Log(y)
+	}
+	return m.inner.Fit(ml.Dataset{X: ds.X, Y: ly})
+}
+
+// Predict implements ml.Regressor.
+func (m *logModel) Predict(x []float64) float64 {
+	return math.Exp(m.inner.Predict(x))
+}
+
+// Predictor is a trained overlap-aware latency predictor: it maps an
+// operator group to its predicted co-run latency in milliseconds.
+type Predictor struct {
+	codec Codec
+	model ml.Regressor
+}
+
+// Train fits a duration model on the samples and returns the predictor.
+func Train(samples []Sample, codec Codec, cfg TrainConfig) (*Predictor, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("predictor: no samples")
+	}
+	ds := BuildDataset(samples, codec)
+	model := newRegressor(cfg)
+	if err := model.Fit(ds); err != nil {
+		return nil, err
+	}
+	return &Predictor{codec: codec, model: model}, nil
+}
+
+// Codec returns the feature codec the predictor was trained with.
+func (p *Predictor) Codec() Codec { return p.codec }
+
+// Predict returns the predicted group latency in milliseconds.
+func (p *Predictor) Predict(g Group) float64 {
+	return p.model.Predict(p.codec.Encode(g))
+}
+
+// PredictBatch evaluates many candidate groups at once — the batched
+// duration-model invocation behind the multi-way search (§6.3).
+func (p *Predictor) PredictBatch(gs []Group) []float64 {
+	X := make([][]float64, len(gs))
+	for i, g := range gs {
+		X[i] = p.codec.Encode(g)
+	}
+	switch m := p.model.(type) {
+	case *ml.MLP:
+		return m.PredictBatch(X)
+	case *logModel:
+		if mlp, ok := m.inner.(*ml.MLP); ok {
+			out := mlp.PredictBatch(X)
+			for i := range out {
+				out[i] = math.Exp(out[i])
+			}
+			return out
+		}
+	}
+	return ml.PredictAll(p.model, X)
+}
+
+// Evaluate returns the MAPE of the predictor over held-out samples
+// (Equation 1).
+func (p *Predictor) Evaluate(samples []Sample) float64 {
+	pred := make([]float64, len(samples))
+	actual := make([]float64, len(samples))
+	for i, s := range samples {
+		pred[i] = p.Predict(s.Group)
+		actual[i] = s.Latency
+	}
+	return stats.MAPE(pred, actual)
+}
+
+// TrainEval performs the paper's 80/20 split, trains, and returns the
+// predictor plus its held-out MAPE.
+func TrainEval(samples []Sample, codec Codec, cfg TrainConfig) (*Predictor, float64, error) {
+	ds := BuildDataset(samples, codec)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	train, test := ds.Split(0.8, rng)
+	model := newRegressor(cfg)
+	if err := model.Fit(train); err != nil {
+		return nil, 0, err
+	}
+	p := &Predictor{codec: codec, model: model}
+	err := stats.MAPE(ml.PredictAll(model, test.X), test.Y)
+	return p, err, nil
+}
+
+// CrossValidate runs k-fold cross validation of the configured technique
+// over the samples and returns per-fold MAPEs (Figure 10's
+// "Cross Validation" bars).
+func CrossValidate(samples []Sample, codec Codec, cfg TrainConfig, k int) ([]float64, error) {
+	ds := BuildDataset(samples, codec)
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	return ml.CrossValidate(ds, k, rng,
+		func() ml.Regressor { return newRegressor(cfg) },
+		stats.MAPE)
+}
+
+// SaveSamples writes samples as JSON, the offline-profiling artifact the
+// training CLI persists.
+func SaveSamples(w io.Writer, samples []Sample) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(samples)
+}
+
+// LoadSamples reads samples written by SaveSamples.
+func LoadSamples(r io.Reader) ([]Sample, error) {
+	var samples []Sample
+	if err := json.NewDecoder(r).Decode(&samples); err != nil {
+		return nil, err
+	}
+	for i, s := range samples {
+		if err := s.Group.Validate(); err != nil {
+			return nil, fmt.Errorf("predictor: sample %d: %w", i, err)
+		}
+	}
+	return samples, nil
+}

@@ -1,0 +1,75 @@
+package predictor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/ml"
+	"abacus/internal/stats"
+)
+
+// TestTuneMLP sweeps training settings; run manually with
+//
+//	go test ./internal/predictor -run TestTuneMLP -v -tags tune
+//
+// It is skipped by default to keep the suite fast.
+func TestTuneMLP(t *testing.T) {
+	if testing.Short() || true {
+		t.Skip("manual tuning harness")
+	}
+	runTune(t)
+}
+
+func runTune(t *testing.T) {
+	cfg := DefaultSamplerConfig()
+	cfg.Runs = 3
+	models := []dnn.ModelID{dnn.ResNet50, dnn.ResNet152, dnn.VGG16, dnn.Bert}
+	samples := Collect(models, 2, 400, cfg)
+	codec := NewCodec()
+	ds := BuildDataset(samples, codec)
+	rng := rand.New(rand.NewSource(9))
+	train, test := ds.Split(0.8, rng)
+
+	type variant struct {
+		name string
+		mk   func() *ml.MLP
+		log  bool
+	}
+	variants := []variant{
+		{"base-300", func() *ml.MLP { return &ml.MLP{Epochs: 300, Seed: 1} }, false},
+		{"600ep", func() *ml.MLP { return &ml.MLP{Epochs: 600, Seed: 1} }, false},
+		{"600ep-lr3e3", func() *ml.MLP { return &ml.MLP{Epochs: 600, LearningRate: 3e-3, Seed: 1} }, false},
+		{"600ep-b64", func() *ml.MLP { return &ml.MLP{Epochs: 600, BatchSize: 64, Seed: 1} }, false},
+		{"log-300", func() *ml.MLP { return &ml.MLP{Epochs: 300, Seed: 1} }, true},
+		{"log-600", func() *ml.MLP { return &ml.MLP{Epochs: 600, Seed: 1} }, true},
+	}
+	for _, v := range variants {
+		tr := train
+		if v.log {
+			tr = ml.Dataset{X: train.X, Y: logAll(train.Y)}
+		}
+		m := v.mk()
+		if err := m.Fit(tr); err != nil {
+			t.Fatal(err)
+		}
+		pred := make([]float64, test.Len())
+		for i, x := range test.X {
+			p := m.Predict(x)
+			if v.log {
+				p = math.Exp(p)
+			}
+			pred[i] = p
+		}
+		t.Logf("%-14s MAPE=%.4f", v.name, stats.MAPE(pred, test.Y))
+	}
+}
+
+func logAll(y []float64) []float64 {
+	out := make([]float64, len(y))
+	for i, v := range y {
+		out[i] = math.Log(v)
+	}
+	return out
+}

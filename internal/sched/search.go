@@ -1,0 +1,106 @@
+package sched
+
+import (
+	"abacus/internal/dnn"
+	"abacus/internal/predictor"
+)
+
+// MaxFeasibleSpan finds the largest k such that extending the group with
+// operators [e.OpStart, e.OpStart+k) of entry e keeps the predicted group
+// latency within budget. It implements the paper's multi-way search (§6.3):
+// each iteration probes `ways` candidate spans with one batched
+// duration-model invocation and narrows the feasible bracket, so the number
+// of rounds is O(log_ways N) instead of O(N).
+//
+// e.OpEnd is ignored; maxSpan bounds the search. It returns the span
+// length, the predicted latency of the group with that span added
+// (meaningful when k > 0), and the number of batched prediction rounds
+// spent.
+func MaxFeasibleSpan(model predictor.LatencyModel, base predictor.Group, e predictor.Entry,
+	maxSpan int, budget float64, ways int) (k int, lat float64, rounds int) {
+	if maxSpan <= 0 {
+		return 0, 0, 0
+	}
+	if ways < 1 {
+		ways = 1
+	}
+	withSpan := func(n int) predictor.Group {
+		g := append(predictor.Group(nil), base...)
+		ee := e
+		ee.OpEnd = ee.OpStart + n
+		return append(g, ee)
+	}
+
+	lo, hi := 0, maxSpan // lo is known feasible (adding nothing), hi unknown
+	var loLat float64
+	for lo < hi {
+		// Probe `ways` points in (lo, hi], always including hi.
+		probes := probePoints(lo, hi, ways)
+		groups := make([]predictor.Group, len(probes))
+		for i, p := range probes {
+			groups[i] = withSpan(p)
+		}
+		lats := model.PredictBatch(groups)
+		rounds++
+
+		// Latency is monotone in span length; find the split point.
+		feasibleIdx := -1
+		for i := range probes {
+			if lats[i] <= budget {
+				feasibleIdx = i
+			} else {
+				break
+			}
+		}
+		if feasibleIdx == -1 {
+			hi = probes[0] - 1
+			continue
+		}
+		lo = probes[feasibleIdx]
+		loLat = lats[feasibleIdx]
+		if feasibleIdx+1 < len(probes) {
+			hi = probes[feasibleIdx+1] - 1
+		}
+	}
+	return lo, loLat, rounds
+}
+
+// searchSpan adapts MaxFeasibleSpan to the controller's bookkeeping.
+func (a *Abacus) searchSpan(base *formedGroup, q *Query, budget float64) (k int, lat float64, rounds int) {
+	remaining := dnn.Get(q.Service.Model).NumOps() - q.posted
+	entry := predictor.Entry{
+		Model:   q.Service.Model,
+		OpStart: q.posted,
+		Batch:   q.Input.Batch,
+		SeqLen:  q.Input.SeqLen,
+	}
+	return MaxFeasibleSpan(a.model, base.group(), entry, remaining, budget, a.cfg.Ways)
+}
+
+// probePoints returns up to `ways` strictly increasing integers in
+// (lo, hi], splitting the bracket into ways+1 regions so each prediction
+// round shrinks it geometrically: 1-way search is binary search, m-way
+// search converges in O(log_{m+1} N) rounds (§6.3's complexity claim).
+func probePoints(lo, hi, ways int) []int {
+	span := hi - lo
+	if span <= 0 {
+		return nil
+	}
+	if ways > span {
+		ways = span
+	}
+	out := make([]int, 0, ways)
+	prev := lo
+	for i := 1; i <= ways; i++ {
+		p := lo + (span*i)/(ways+1)
+		if p <= prev {
+			p = prev + 1
+		}
+		if p > hi {
+			break
+		}
+		out = append(out, p)
+		prev = p
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package serving
+
+import (
+	"fmt"
+
+	"abacus/internal/dnn"
+	"abacus/internal/predictor"
+	"abacus/internal/trace"
+)
+
+// CapacityConfig controls the peak-QPS search.
+type CapacityConfig struct {
+	Policy PolicyKind
+	Models []dnn.ModelID
+	// Model is Abacus's duration model (nil → oracle).
+	Model predictor.LatencyModel
+	// MaxViolation is the QoS violation ratio a load must stay under to
+	// count as "supported" (default 0.05).
+	MaxViolation float64
+	// DurationMS is the probe length per load point (default 6000).
+	DurationMS float64
+	// LoQPS/HiQPS bracket the search (defaults 5 and 400).
+	LoQPS, HiQPS float64
+	// ToleranceQPS stops the bisection (default 4).
+	ToleranceQPS float64
+	// Seed drives the workload.
+	Seed int64
+}
+
+// PeakQPS finds, by bisection, the highest offered load (queries/s) the
+// deployment sustains under the policy while keeping the QoS violation
+// ratio below the threshold — the paper's notion of peak throughput with a
+// QoS constraint (§7.3), measured directly instead of at one fixed offered
+// load. It returns the supported load and the result measured at it.
+func PeakQPS(cfg CapacityConfig) (float64, Result) {
+	if len(cfg.Models) == 0 {
+		panic("serving: no models")
+	}
+	if cfg.MaxViolation == 0 {
+		cfg.MaxViolation = 0.05
+	}
+	if cfg.DurationMS == 0 {
+		cfg.DurationMS = 6000
+	}
+	if cfg.LoQPS == 0 {
+		cfg.LoQPS = 5
+	}
+	if cfg.HiQPS == 0 {
+		cfg.HiQPS = 400
+	}
+	if cfg.ToleranceQPS == 0 {
+		cfg.ToleranceQPS = 4
+	}
+	if cfg.HiQPS <= cfg.LoQPS {
+		panic(fmt.Sprintf("serving: bad QPS bracket [%v, %v]", cfg.LoQPS, cfg.HiQPS))
+	}
+
+	probe := func(qps float64) (bool, Result) {
+		gen := trace.NewGenerator(cfg.Models, cfg.Seed)
+		res := Run(RunConfig{
+			Policy:   cfg.Policy,
+			Models:   cfg.Models,
+			Arrivals: gen.Poisson(qps, cfg.DurationMS),
+			Model:    cfg.Model,
+		})
+		return res.ViolationRatio() <= cfg.MaxViolation, res
+	}
+
+	lo, hi := cfg.LoQPS, cfg.HiQPS
+	okLo, resLo := probe(lo)
+	if !okLo {
+		// Even the bracket floor violates; report it as the (non-)capacity.
+		return lo, resLo
+	}
+	if okHi, resHi := probe(hi); okHi {
+		return hi, resHi // bracket ceiling sustained; capacity ≥ hi
+	}
+	best := resLo
+	for hi-lo > cfg.ToleranceQPS {
+		mid := (lo + hi) / 2
+		if ok, res := probe(mid); ok {
+			lo, best = mid, res
+		} else {
+			hi = mid
+		}
+	}
+	return lo, best
+}

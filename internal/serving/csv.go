@@ -1,0 +1,37 @@
+package serving
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits one row per query (the raw data behind the paper's
+// latency CDFs and violation counts) for external plotting.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"service", "model", "batch", "seqlen", "arrival_ms",
+		"finish_ms", "latency_ms", "qos_ms", "dropped", "violated"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, rec := range r.Records {
+		row := []string{
+			fmt.Sprintf("%d", rec.Service),
+			rec.Model.String(),
+			fmt.Sprintf("%d", rec.Input.Batch),
+			fmt.Sprintf("%d", rec.Input.SeqLen),
+			fmt.Sprintf("%.4f", rec.Arrival),
+			fmt.Sprintf("%.4f", rec.Finish),
+			fmt.Sprintf("%.4f", rec.Latency),
+			fmt.Sprintf("%.4f", rec.QoS),
+			fmt.Sprintf("%t", rec.Dropped),
+			fmt.Sprintf("%t", rec.Violated),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,43 @@
+package serving
+
+import (
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/stats"
+	"abacus/internal/trace"
+)
+
+// TestDiagnosticsPairLoad prints a per-service breakdown for the hot pair;
+// run with -v while calibrating. It asserts nothing beyond completion.
+func TestDiagnosticsPairLoad(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	gen := trace.NewGenerator(models, 3)
+	arrivals := gen.Poisson(50, 4000)
+	for _, policy := range AllPolicies() {
+		res := Run(RunConfig{Policy: policy, Models: models, Arrivals: arrivals})
+		t.Logf("== %v: util=%.2f groups=%d drop=%.3f viol=%.3f", policy, res.Utilization, res.Groups, res.DropRatio(), res.ViolationRatio())
+		for _, svc := range res.Services {
+			lats := res.Latencies(svc.ID)
+			var viol, drop, tot int
+			for _, rec := range res.Records {
+				if rec.Service != svc.ID {
+					continue
+				}
+				tot++
+				if rec.Dropped {
+					drop++
+				}
+				if rec.Violated {
+					viol++
+				}
+			}
+			if len(lats) == 0 {
+				t.Logf("  %-8s QoS=%.1f no completions", svc.Model, svc.QoS)
+				continue
+			}
+			t.Logf("  %-8s QoS=%5.1f n=%3d mean=%6.2f p99=%6.2f viol=%d/%d drop=%d",
+				svc.Model, svc.QoS, tot, stats.Mean(lats), stats.Percentile(lats, 99), viol, tot, drop)
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package serving wires the Abacus reproduction into a single-GPU serving
+// system: it replays an arrival trace against a scheduler (Abacus or one of
+// the sequential baselines) on a simulated device and produces the QoS and
+// throughput metrics reported across the paper's Figures 14–21.
+package serving
+
+import (
+	"fmt"
+
+	"abacus/internal/dnn"
+	"abacus/internal/executor"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/sched"
+	"abacus/internal/sim"
+	"abacus/internal/stats"
+	"abacus/internal/trace"
+)
+
+// PolicyKind selects the scheduler under test.
+type PolicyKind int
+
+// The four evaluated per-GPU policies, plus the unmanaged MPS-style
+// free-overlap baseline from the motivation section.
+const (
+	PolicyFCFS PolicyKind = iota
+	PolicySJF
+	PolicyEDF
+	PolicyAbacus
+	PolicyMPS
+	PolicyKernelLevel
+)
+
+// String returns the paper's label for the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyFCFS:
+		return "FCFS"
+	case PolicySJF:
+		return "SJF"
+	case PolicyEDF:
+		return "EDF"
+	case PolicyAbacus:
+		return "Abacus"
+	case PolicyMPS:
+		return "MPS"
+	case PolicyKernelLevel:
+		return "KernelLevel"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(p))
+	}
+}
+
+// AllPolicies lists the evaluation's policies in the paper's order.
+func AllPolicies() []PolicyKind {
+	return []PolicyKind{PolicyFCFS, PolicySJF, PolicyEDF, PolicyAbacus}
+}
+
+// RunConfig describes one single-GPU serving experiment.
+type RunConfig struct {
+	Policy   PolicyKind
+	Models   []dnn.ModelID
+	Arrivals []trace.Arrival
+	// Services overrides the default QoS derivation (2× max-input solo)
+	// when non-nil — e.g. the small-DNN experiment.
+	Services []*sched.Service
+	// Profile is the device model; zero value selects A100Profile.
+	Profile gpusim.Profile
+	// Device, when non-nil, runs on the given (possibly MIG-partitioned)
+	// device instead of a fresh full one. Its engine is used for the run.
+	Device *gpusim.Device
+	// Model is the latency model for Abacus; nil selects the exact Oracle
+	// (tests and quick runs) — pass a trained predictor for fidelity runs.
+	Model predictor.LatencyModel
+	// Sched carries scheduler knobs; zero value means sched.DefaultConfig.
+	Sched sched.Config
+	// SyncCost is the per-group synchronization overhead (default 0.02 ms).
+	SyncCost float64
+	// DrainMS bounds how long after the last arrival the run may continue
+	// (default: 10 × the longest QoS target).
+	DrainMS float64
+}
+
+// Record is the outcome of one query.
+type Record struct {
+	Service  int
+	Model    dnn.ModelID
+	Input    dnn.Input
+	Arrival  sim.Time
+	Finish   sim.Time
+	Dropped  bool
+	Violated bool
+	Latency  float64 // valid when not dropped
+	QoS      float64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Policy   PolicyKind
+	Services []*sched.Service
+	Records  []Record
+	// DurationMS is the span from time zero to the last emission.
+	DurationMS float64
+	// Utilization is the device's mean SM utilization.
+	Utilization float64
+	// Groups is the number of operator groups executed.
+	Groups int64
+}
+
+// Run executes the experiment and returns its result.
+func Run(cfg RunConfig) Result {
+	if len(cfg.Models) == 0 {
+		panic("serving: no models")
+	}
+	profile := cfg.Profile
+	if profile.NumSMs == 0 {
+		profile = gpusim.A100Profile()
+	}
+	var eng *sim.Engine
+	dev := cfg.Device
+	if dev == nil {
+		eng = sim.NewEngine()
+		dev = gpusim.New(eng, profile)
+	} else {
+		eng = dev.Engine()
+		profile = dev.Profile()
+	}
+	syncCost := cfg.SyncCost
+	if syncCost == 0 {
+		syncCost = 0.02
+	}
+	exec := executor.New(dev, syncCost)
+
+	services := cfg.Services
+	if services == nil {
+		services = sched.Services(cfg.Models, 2, profile)
+	}
+	if len(services) != len(cfg.Models) {
+		panic("serving: services/models length mismatch")
+	}
+
+	var records []Record
+	var lastEmit sim.Time
+	sink := func(q *sched.Query) {
+		rec := Record{
+			Service: q.Service.ID,
+			Model:   q.Service.Model,
+			Input:   q.Input,
+			Arrival: q.Arrival,
+			Finish:  q.Finish,
+			Dropped: q.Dropped,
+			QoS:     q.Service.QoS,
+		}
+		if !q.Dropped {
+			rec.Latency = q.Latency()
+		}
+		rec.Violated = q.Violated()
+		records = append(records, rec)
+		if q.Finish > lastEmit {
+			lastEmit = q.Finish
+		}
+	}
+
+	var scheduler sched.Scheduler
+	schedCfg := cfg.Sched
+	if schedCfg == (sched.Config{}) {
+		schedCfg = sched.DefaultConfig()
+	}
+	switch cfg.Policy {
+	case PolicyFCFS:
+		scheduler = sched.NewSequential(sched.FCFS, eng, exec, schedCfg, sink)
+	case PolicySJF:
+		scheduler = sched.NewSequential(sched.SJF, eng, exec, schedCfg, sink)
+	case PolicyEDF:
+		scheduler = sched.NewSequential(sched.EDF, eng, exec, schedCfg, sink)
+	case PolicyAbacus:
+		model := cfg.Model
+		if model == nil {
+			model = predictor.Oracle{Profile: profile}
+		}
+		scheduler = sched.NewAbacus(eng, exec, model, schedCfg, sink)
+	case PolicyMPS:
+		scheduler = sched.NewFreeOverlap(eng, dev, sink)
+	case PolicyKernelLevel:
+		scheduler = sched.NewKernelLevel(eng, exec, schedCfg, sink)
+	default:
+		panic(fmt.Sprintf("serving: unknown policy %d", cfg.Policy))
+	}
+
+	// Schedule arrivals: the query is submitted at Arrival.Time; its input
+	// transfer (T_comms, Eq. 2) delays when the scheduler sees it.
+	var id int64
+	var lastArrival float64
+	for _, a := range cfg.Arrivals {
+		a := a
+		if a.Service < 0 || a.Service >= len(services) {
+			panic(fmt.Sprintf("serving: arrival service %d out of range", a.Service))
+		}
+		svc := services[a.Service]
+		id++
+		q := &sched.Query{
+			ID:      id,
+			Service: svc,
+			Input:   a.Input,
+			Arrival: a.Time,
+		}
+		transfer := dnn.TransferTime(dnn.Get(svc.Model), a.Input, profile)
+		eng.ScheduleAt(a.Time+transfer, func() { scheduler.Enqueue(q) })
+		if a.Time > lastArrival {
+			lastArrival = a.Time
+		}
+	}
+
+	drain := cfg.DrainMS
+	if drain <= 0 {
+		var maxQoS float64
+		for _, s := range services {
+			if s.QoS > maxQoS {
+				maxQoS = s.QoS
+			}
+		}
+		drain = 10 * maxQoS
+	}
+	eng.RunUntil(lastArrival + drain)
+
+	return Result{
+		Policy:      cfg.Policy,
+		Services:    services,
+		Records:     records,
+		DurationMS:  lastEmit,
+		Utilization: dev.Utilization(),
+		Groups:      exec.Groups(),
+	}
+}
+
+// Latencies returns the end-to-end latencies of completed (non-dropped)
+// queries, optionally filtered to one service (-1 for all).
+func (r *Result) Latencies(service int) []float64 {
+	var out []float64
+	for _, rec := range r.Records {
+		if rec.Dropped || (service >= 0 && rec.Service != service) {
+			continue
+		}
+		out = append(out, rec.Latency)
+	}
+	return out
+}
+
+// TailLatency returns the p-th percentile latency over completed queries of
+// the given service (-1 for all). It returns 0 when nothing completed.
+func (r *Result) TailLatency(service int, p float64) float64 {
+	lats := r.Latencies(service)
+	if len(lats) == 0 {
+		return 0
+	}
+	return stats.Percentile(lats, p)
+}
+
+// NormalizedTail returns the 99%-ile latency normalized to the QoS target,
+// the y-axis of Figures 14, 16, 18, and 20. With multiple services it
+// returns the worst (max) normalized tail.
+func (r *Result) NormalizedTail() float64 {
+	worst := 0.0
+	for _, svc := range r.Services {
+		lats := r.Latencies(svc.ID)
+		if len(lats) == 0 {
+			continue
+		}
+		if v := stats.Percentile(lats, 99) / svc.QoS; v > worst {
+			worst = v
+		}
+	}
+	return worst
+}
+
+// ViolationRatio returns the fraction of all queries that violated QoS;
+// dropped queries count as violations (Figure 15's accounting).
+func (r *Result) ViolationRatio() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, rec := range r.Records {
+		if rec.Violated {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(r.Records))
+}
+
+// Goodput returns successfully processed queries per second: completed
+// within their QoS target, over the active duration (Figure 17's metric).
+func (r *Result) Goodput() float64 {
+	if r.DurationMS <= 0 {
+		return 0
+	}
+	good := 0
+	for _, rec := range r.Records {
+		if !rec.Dropped && !rec.Violated {
+			good++
+		}
+	}
+	return float64(good) / (r.DurationMS / 1000)
+}
+
+// Completed returns the number of non-dropped queries.
+func (r *Result) Completed() int {
+	n := 0
+	for _, rec := range r.Records {
+		if !rec.Dropped {
+			n++
+		}
+	}
+	return n
+}
+
+// DropRatio returns the fraction of queries dropped.
+func (r *Result) DropRatio() float64 {
+	if len(r.Records) == 0 {
+		return 0
+	}
+	n := 0
+	for _, rec := range r.Records {
+		if rec.Dropped {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Records))
+}

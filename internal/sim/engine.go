@@ -1,0 +1,155 @@
+// Package sim implements the deterministic discrete-event simulation engine
+// that drives the Abacus reproduction. All simulated time is expressed in
+// milliseconds on a virtual clock. Events scheduled for the same instant are
+// executed in scheduling order, so a run is bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point on (or a span of) the virtual clock, in milliseconds.
+type Time = float64
+
+// Event is a scheduled callback. It is returned by Schedule so callers can
+// cancel it before it fires.
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index; -1 once popped or canceled
+	fn    func()
+}
+
+// At returns the virtual time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	running bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in milliseconds.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return len(e.pending) }
+
+// Schedule registers fn to run after delay milliseconds of virtual time and
+// returns a handle that can be passed to Cancel. A negative delay panics:
+// scheduling into the past would break causality.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt registers fn to run at absolute virtual time t. It panics if t
+// is before the current time.
+func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return ev
+}
+
+// Cancel removes a scheduled event. Canceling an event that already fired or
+// was already canceled is a no-op and returns false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.pending, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Step fires the earliest pending event, advancing the clock to its time. It
+// returns false when no events are pending.
+func (e *Engine) Step() bool {
+	if len(e.pending) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pending).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	e.guardReentry()
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to exactly deadline (even if the queue drained earlier).
+func (e *Engine) RunUntil(deadline Time) {
+	if deadline < e.now {
+		panic(fmt.Sprintf("sim: RunUntil(%v) before now %v", deadline, e.now))
+	}
+	e.guardReentry()
+	defer func() { e.running = false }()
+	for len(e.pending) > 0 && e.pending[0].at <= deadline {
+		e.Step()
+	}
+	e.now = deadline
+}
+
+func (e *Engine) guardReentry() {
+	if e.running {
+		panic("sim: engine run loop re-entered")
+	}
+	e.running = true
+}

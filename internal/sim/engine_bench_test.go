@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(1, func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Keep 1024 pending events while scheduling/firing — the steady-state
+	// shape of a busy device simulation.
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		e.Schedule(rng.Float64()*100, func() {})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+rng.Float64()*100-e.Now(), func() {})
+		e.Step()
+	}
+}
+
+func BenchmarkCancel(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(float64(i)+1, func() {})
+		e.Cancel(ev)
+	}
+}

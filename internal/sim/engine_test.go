@@ -1,0 +1,299 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Errorf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestScheduleAndRun(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{5, 1, 3} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.Run()
+	want := []float64{1, 3, 5}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", e.Now())
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(2, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestScheduleZeroDelay(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(0, func() { ran = true })
+	e.Run()
+	if !ran || e.Now() != 0 {
+		t.Errorf("zero-delay event: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	e.ScheduleAt(1, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(1, func() { ran = true })
+	if !e.Cancel(ev) {
+		t.Error("Cancel returned false for a pending event")
+	}
+	if e.Cancel(ev) {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if ran {
+		t.Error("canceled event still fired")
+	}
+}
+
+func TestCancelNilIsNoop(t *testing.T) {
+	e := NewEngine()
+	if e.Cancel(nil) {
+		t.Error("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelFiredEventReturnsFalse(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(1, func() {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Error("Cancel of a fired event returned true")
+	}
+}
+
+func TestCancelMiddleEventPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	evs := make([]*Event, 0, 5)
+	for _, d := range []float64{1, 2, 3, 4, 5} {
+		d := d
+		evs = append(evs, e.Schedule(d, func() { fired = append(fired, d) }))
+	}
+	e.Cancel(evs[2]) // remove t=3
+	e.Run()
+	want := []float64{1, 2, 4, 5}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, d := range []float64{1, 2, 3, 10} {
+		d := d
+		e.Schedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(5)
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want events at 1,2,3", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("Now() = %v, want 5", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Now() != 10 || len(fired) != 4 {
+		t.Errorf("after Run: now=%v fired=%v", e.Now(), fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Errorf("Now() = %v, want 42", e.Now())
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	e.RunUntil(5)
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step() on empty queue returned true")
+	}
+}
+
+func TestEventAt(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(7, func() {})
+	if ev.At() != 7 {
+		t.Errorf("At() = %v, want 7", ev.At())
+	}
+}
+
+func TestReentrantRunPanics(t *testing.T) {
+	e := NewEngine()
+	panicked := false
+	e.Schedule(1, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		e.Run()
+	})
+	e.Run()
+	if !panicked {
+		t.Error("re-entrant Run did not panic")
+	}
+}
+
+// Property: events always fire in non-decreasing time order, and the clock
+// never runs backwards, for arbitrary delay sequences including nested
+// scheduling.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []Time
+		count := int(n%50) + 1
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			d := rng.Float64() * 10
+			e.Schedule(d, func() {
+				fired = append(fired, e.Now())
+				if depth < 3 && rng.Intn(2) == 0 {
+					schedule(depth + 1)
+				}
+			})
+		}
+		for i := 0; i < count; i++ {
+			schedule(0)
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with identical seeds, two engines produce identical firing
+// sequences (bit determinism).
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []Time {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var fired []Time
+		for i := 0; i < 100; i++ {
+			e.Schedule(rng.Float64()*100, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		return fired
+	}
+	f := func(seed int64) bool {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

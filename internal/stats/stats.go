@@ -1,0 +1,225 @@
+// Package stats provides the small statistics toolkit used throughout the
+// Abacus reproduction: percentiles, CDFs, dispersion measures, and the
+// prediction-error metrics from the paper (mean absolute percentage error,
+// Equation 1).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, or 0 when
+// len(xs) < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Min returns the smallest element of xs. It panics on an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs. It panics on an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It panics if xs is empty or p is out
+// of range. The input is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted computes a percentile over an already-sorted slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentiles returns multiple percentiles of xs with a single sort.
+func Percentiles(xs []float64, ps ...float64) []float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentiles of empty slice")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			panic(fmt.Sprintf("stats: percentile %v out of range [0,100]", p))
+		}
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+// CDFPoint is one point of an empirical cumulative distribution function.
+type CDFPoint struct {
+	Value float64 // sample value
+	Frac  float64 // fraction of samples <= Value, in (0, 1]
+}
+
+// CDF returns the empirical CDF of xs as (value, fraction) pairs sorted by
+// value. Duplicate values are collapsed to their highest fraction.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var out []CDFPoint
+	for i, v := range sorted {
+		f := float64(i+1) / n
+		if len(out) > 0 && out[len(out)-1].Value == v {
+			out[len(out)-1].Frac = f
+			continue
+		}
+		out = append(out, CDFPoint{Value: v, Frac: f})
+	}
+	return out
+}
+
+// MAPE returns the mean absolute percentage error between predictions and
+// ground-truth values (paper Equation 1), expressed as a fraction (0.05 means
+// 5% error). Pairs with a zero true value are skipped. It panics if the
+// slices differ in length.
+func MAPE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic("stats: MAPE length mismatch")
+	}
+	var s float64
+	var n int
+	for i := range predicted {
+		if actual[i] == 0 {
+			continue
+		}
+		s += math.Abs(predicted[i]-actual[i]) / math.Abs(actual[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// MAE returns the mean absolute error between predictions and ground truth.
+func MAE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic("stats: MAE length mismatch")
+	}
+	if len(predicted) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range predicted {
+		s += math.Abs(predicted[i] - actual[i])
+	}
+	return s / float64(len(predicted))
+}
+
+// RMSE returns the root mean squared error between predictions and ground
+// truth.
+func RMSE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(predicted) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range predicted {
+		d := predicted[i] - actual[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(predicted)))
+}
+
+// Histogram bins xs into n equal-width buckets over [min, max] and returns
+// the bucket counts. Values exactly at max land in the last bucket.
+func Histogram(xs []float64, n int, min, max float64) []int {
+	if n <= 0 || max <= min {
+		panic("stats: invalid histogram parameters")
+	}
+	counts := make([]int, n)
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		if x < min || x > max {
+			continue
+		}
+		i := int((x - min) / width)
+		if i >= n {
+			i = n - 1
+		}
+		counts[i]++
+	}
+	return counts
+}

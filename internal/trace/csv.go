@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"abacus/internal/dnn"
+)
+
+// WriteCSV persists an arrival trace so a run can be replayed elsewhere
+// (or a real production trace can be injected in the same format).
+func WriteCSV(w io.Writer, arrivals []Arrival) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ms", "service", "batch", "seqlen"}); err != nil {
+		return err
+	}
+	for _, a := range arrivals {
+		row := []string{
+			strconv.FormatFloat(a.Time, 'f', -1, 64),
+			strconv.Itoa(a.Service),
+			strconv.Itoa(a.Input.Batch),
+			strconv.Itoa(a.Input.SeqLen),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads a trace written by WriteCSV (or hand-authored in the same
+// format). numServices bounds the service indices; arrivals are returned
+// time-sorted.
+func ReadCSV(r io.Reader, numServices int) ([]Arrival, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if len(rows[0]) != 4 || rows[0][0] != "time_ms" {
+		return nil, fmt.Errorf("trace: unexpected header %v", rows[0])
+	}
+	var out []Arrival
+	for i, row := range rows[1:] {
+		t, err1 := strconv.ParseFloat(row[0], 64)
+		svc, err2 := strconv.Atoi(row[1])
+		batch, err3 := strconv.Atoi(row[2])
+		seq, err4 := strconv.Atoi(row[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, fmt.Errorf("trace: row %d malformed: %v", i+1, row)
+		}
+		if t < 0 {
+			return nil, fmt.Errorf("trace: row %d has negative time %v", i+1, t)
+		}
+		if svc < 0 || svc >= numServices {
+			return nil, fmt.Errorf("trace: row %d service %d out of [0,%d)", i+1, svc, numServices)
+		}
+		if batch < 1 {
+			return nil, fmt.Errorf("trace: row %d batch %d invalid", i+1, batch)
+		}
+		out = append(out, Arrival{Time: t, Service: svc, Input: dnn.Input{Batch: batch, SeqLen: seq}})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out, nil
+}
