@@ -1,0 +1,32 @@
+# Developer entry points. `make ci` is the full gate: build, vet, format
+# check, and the test suite under the race detector (the concurrent sweep
+# harness in internal/runner makes -race load-bearing).
+
+GO ?= go
+
+.PHONY: all build vet fmt-check test test-race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: build vet fmt-check test-race

@@ -34,10 +34,16 @@ import (
 	"abacus/internal/experiments"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/sched"
 	"abacus/internal/serving"
 	"abacus/internal/trace"
 )
+
+// SetParallel sets the default worker count used by the concurrent sweeps
+// (experiments, capacity search, training). n <= 0 restores GOMAXPROCS.
+// Results are identical at any setting; see internal/runner.
+func SetParallel(n int) { runner.SetDefaultParallel(n) }
 
 // Model identifies one of the seven serving models from the paper's
 // Table 1.
@@ -250,9 +256,15 @@ func TrainPredictor(models []Model, cfg TrainConfig) (*Predictor, error) {
 	}
 	sc := predictor.DefaultSamplerConfig()
 	sc.Seed = cfg.Seed
+	// Each co-location degree profiles with its own sampler, so the degrees
+	// collect concurrently and concatenate in degree order — the sample
+	// stream matches the serial loop exactly.
+	perK := runner.Map(cfg.MaxCoLocated, 0, func(i int) []predictor.Sample {
+		return predictor.Collect(models, i+1, cfg.SamplesPerCombo, sc)
+	})
 	var samples []predictor.Sample
-	for k := 1; k <= cfg.MaxCoLocated; k++ {
-		samples = append(samples, predictor.Collect(models, k, cfg.SamplesPerCombo, sc)...)
+	for _, ks := range perK {
+		samples = append(samples, ks...)
 	}
 	tc := predictor.DefaultTrainConfig()
 	tc.Seed = cfg.Seed

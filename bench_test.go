@@ -13,7 +13,9 @@
 package abacus_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"abacus"
@@ -21,6 +23,7 @@ import (
 	"abacus/internal/experiments"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/sched"
 	"abacus/internal/serving"
 	"abacus/internal/sim"
@@ -170,6 +173,34 @@ func BenchmarkServeAbacusSecond(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		serving.Run(serving.RunConfig{
 			Policy: serving.PolicyAbacus, Models: models, Arrivals: arrivals,
+		})
+	}
+}
+
+// BenchmarkRunnerScaling measures the worker-pool harness on a fixed batch
+// of independent serving runs (the unit of every sweep experiment) at
+// widths 1, 2, 4, and NumCPU. Sub-benchmark times divided by the
+// parallel=1 time give the harness's wall-clock scaling on this machine.
+func BenchmarkRunnerScaling(b *testing.B) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	gen := trace.NewGenerator(models, 1)
+	arrivals := gen.Poisson(50, 1000)
+	const jobs = 8
+	widths := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		widths = append(widths, n)
+	}
+	for _, w := range widths {
+		w := w
+		b.Run(fmt.Sprintf("parallel=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				runner.Map(jobs, w, func(j int) serving.Result {
+					return serving.Run(serving.RunConfig{
+						Policy: serving.PolicyAbacus, Models: models, Arrivals: arrivals,
+					})
+				})
+			}
 		})
 	}
 }

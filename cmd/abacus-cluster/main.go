@@ -11,7 +11,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"abacus/internal/cluster"
 	"abacus/internal/dnn"
@@ -25,6 +27,8 @@ func main() {
 	minutes := flag.Float64("minutes", 10, "trace duration")
 	qos := flag.Float64("qos", 100, "QoS target in ms")
 	seed := flag.Int64("seed", 1, "trace seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker count for the side-by-side policy runs (results are identical at any setting)")
 	modelsFlag := flag.String("models", "Res101,Res152,VGG19,Bert", "quad-wise deployment")
 	csvPrefix := flag.String("csv", "", "write per-policy timelines to <prefix>-<policy>.csv")
 	flag.Parse()
@@ -45,8 +49,10 @@ func main() {
 	fmt.Printf("replaying %d arrivals over %.0f minutes on %d GPUs\n",
 		len(arrivals), *minutes, *nodes**gpus)
 
+	// Both fleets replay the same (read-only) arrival slice side by side.
+	var cfgs []cluster.Config
 	for _, policy := range []cluster.Policy{cluster.KubeAbacus, cluster.Clockwork} {
-		res := cluster.Run(cluster.Config{
+		cfgs = append(cfgs, cluster.Config{
 			Policy:      policy,
 			Nodes:       *nodes,
 			GPUsPerNode: *gpus,
@@ -54,11 +60,17 @@ func main() {
 			QoS:         *qos,
 			Arrivals:    arrivals,
 		})
+	}
+	start := time.Now()
+	results := cluster.RunPolicies(cfgs, *parallel)
+	elapsed := time.Since(start).Seconds()
+
+	for _, res := range results {
 		fmt.Printf("%-10s completed=%d dropped=%d tput=%.1f r/s p99=%.1f ms avg=%.1f ms %.1f J/query\n",
-			policy, res.Completed, res.Dropped, res.Throughput(durationMS),
+			res.Policy, res.Completed, res.Dropped, res.Throughput(durationMS),
 			res.P99Latency, res.AvgLatency, res.JoulesPerQuery())
 		if *csvPrefix != "" {
-			name := fmt.Sprintf("%s-%s.csv", *csvPrefix, policy)
+			name := fmt.Sprintf("%s-%s.csv", *csvPrefix, res.Policy)
 			f, err := os.Create(name)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
@@ -72,4 +84,5 @@ func main() {
 			fmt.Println("wrote", name)
 		}
 	}
+	fmt.Printf("[%d policies completed in %.1fs with %d workers]\n", len(results), elapsed, *parallel)
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -21,8 +22,12 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all' (see -list)")
 	quick := flag.Bool("quick", false, "reduced workloads (seconds instead of minutes)")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker count for the concurrent sweeps (results are identical at any setting)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
+
+	abacus.SetParallel(*parallel)
 
 	if *list {
 		for _, id := range abacus.ExperimentIDs() {

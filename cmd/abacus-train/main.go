@@ -13,10 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"abacus/internal/dnn"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 )
 
 func main() {
@@ -25,10 +28,15 @@ func main() {
 	maxK := flag.Int("maxk", 2, "largest co-location degree to sample (1..4)")
 	runs := flag.Int("runs", 3, "measurements per sample (paper: 100)")
 	seed := flag.Int64("seed", 1, "sampling/training seed")
+	parallel := flag.Int("parallel", runtime.NumCPU(),
+		"worker count for concurrent profiling/training (results are identical at any setting)")
 	out := flag.String("out", "", "write collected samples to this JSON file")
 	modelOut := flag.String("model-out", "", "write the trained MLP predictor to this JSON file")
 	in := flag.String("in", "", "load samples from this JSON file instead of collecting")
 	flag.Parse()
+
+	runner.SetDefaultParallel(*parallel)
+	start := time.Now()
 
 	var samples []predictor.Sample
 	if *in != "" {
@@ -54,13 +62,18 @@ func main() {
 		cfg := predictor.DefaultSamplerConfig()
 		cfg.Seed = *seed
 		cfg.Runs = *runs
-		for k := 1; k <= *maxK; k++ {
-			if k > len(models) {
-				break
-			}
-			ks := predictor.Collect(models, k, *samplesPer, cfg)
+		kmax := *maxK
+		if kmax > len(models) {
+			kmax = len(models)
+		}
+		// Each degree profiles with its own sampler, so the degrees collect
+		// concurrently; samples and counts come back in degree order.
+		perK := runner.Map(kmax, *parallel, func(i int) []predictor.Sample {
+			return predictor.Collect(models, i+1, *samplesPer, cfg)
+		})
+		for k, ks := range perK {
 			samples = append(samples, ks...)
-			fmt.Printf("collected %d samples at co-location degree %d\n", len(ks), k)
+			fmt.Printf("collected %d samples at co-location degree %d\n", len(ks), k+1)
 		}
 	}
 
@@ -79,18 +92,24 @@ func main() {
 	}
 
 	codec := predictor.NewCodec()
-	for _, tech := range []predictor.Technique{
+	techniques := []predictor.Technique{
 		predictor.TechLinearRegression, predictor.TechSVR, predictor.TechMLP,
-	} {
-		cfg := predictor.TrainConfig{Technique: tech, Seed: *seed}
-		if tech == predictor.TechMLP {
+	}
+	// The three candidate techniques train concurrently on the shared
+	// read-only sample set; MAPEs print in technique order.
+	mapes, err := runner.MapErr(len(techniques), *parallel, func(i int) (float64, error) {
+		cfg := predictor.TrainConfig{Technique: techniques[i], Seed: *seed}
+		if techniques[i] == predictor.TechMLP {
 			cfg.LogTarget = true
 		}
 		_, mape, err := predictor.TrainEval(samples, codec, cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("%-18s held-out MAPE %.2f%%\n", tech, 100*mape)
+		return mape, err
+	})
+	if err != nil {
+		fail(err)
+	}
+	for i, tech := range techniques {
+		fmt.Printf("%-18s held-out MAPE %.2f%%\n", tech, 100*mapes[i])
 	}
 
 	if *modelOut != "" {
@@ -112,6 +131,7 @@ func main() {
 		}
 		fmt.Printf("wrote trained predictor to %s\n", *modelOut)
 	}
+	fmt.Printf("[done in %.1fs with %d workers]\n", time.Since(start).Seconds(), *parallel)
 }
 
 func fail(err error) {

@@ -20,6 +20,7 @@ import (
 	"abacus/internal/executor"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/sched"
 	"abacus/internal/sim"
 	"abacus/internal/stats"
@@ -101,6 +102,14 @@ func (r *Result) Throughput(durationMS float64) float64 {
 		return 0
 	}
 	return float64(r.Completed) / (durationMS / 1000)
+}
+
+// RunPolicies executes several cluster configurations concurrently — the
+// Figure 22 policy comparison side by side. Each configuration owns its
+// engine and fleet; a shared Arrivals slice is only read. Results come
+// back in configuration order at any parallelism.
+func RunPolicies(cfgs []Config, parallel int) []Result {
+	return runner.Map(len(cfgs), parallel, func(i int) Result { return Run(cfgs[i]) })
 }
 
 // Run executes the cluster simulation.

@@ -5,6 +5,7 @@ import (
 
 	"abacus/internal/dnn"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/sched"
 	"abacus/internal/serving"
 	"abacus/internal/trace"
@@ -59,34 +60,50 @@ func Ablations(opts Options) []Table {
 		Title:  "Abacus design-choice ablations on (Res152,IncepV3) at 50 QPS",
 		Header: []string{"variant", "p99/QoS", "violations", "goodput(r/s)", "groups"},
 	}
+	// Every variant replays the same (read-only) arrival trace on its own
+	// device; named jobs attribute a panicking variant directly.
+	var plan runner.Plan[serving.Result]
 	for _, v := range variants {
-		res := serving.Run(serving.RunConfig{
-			Policy:   serving.PolicyAbacus,
-			Models:   models,
-			Arrivals: arrivals,
-			Model:    v.model,
-			Sched:    v.cfg,
-			SyncCost: v.sync,
+		v := v
+		plan.Add("ablations/"+v.name, func() serving.Result {
+			return serving.Run(serving.RunConfig{
+				Policy:   serving.PolicyAbacus,
+				Models:   models,
+				Arrivals: arrivals,
+				Model:    v.model,
+				Sched:    v.cfg,
+				SyncCost: v.sync,
+			})
 		})
-		t.AddRow(v.name, f2(res.NormalizedTail()), pct(res.ViolationRatio()),
-			f1(res.Goodput()), fmt.Sprintf("%d", res.Groups))
 	}
 	// The unmanaged extreme: MPS-style free overlap with no scheduling at
 	// all — maximum concurrency, zero predictability.
-	mps := serving.Run(serving.RunConfig{
-		Policy:   serving.PolicyMPS,
-		Models:   models,
-		Arrivals: arrivals,
+	plan.Add("ablations/mps", func() serving.Result {
+		return serving.Run(serving.RunConfig{
+			Policy:   serving.PolicyMPS,
+			Models:   models,
+			Arrivals: arrivals,
+		})
 	})
-	t.AddRow("MPS free overlap (no scheduling)", f2(mps.NormalizedTail()),
-		pct(mps.ViolationRatio()), f1(mps.Goodput()), fmt.Sprintf("%d", mps.Groups))
 	// The other extreme the paper rejects (§5.1): kernel-granularity
 	// scheduling with a fence and a prediction per operator.
-	kl := serving.Run(serving.RunConfig{
-		Policy:   serving.PolicyKernelLevel,
-		Models:   models,
-		Arrivals: arrivals,
+	plan.Add("ablations/kernel-level", func() serving.Result {
+		return serving.Run(serving.RunConfig{
+			Policy:   serving.PolicyKernelLevel,
+			Models:   models,
+			Arrivals: arrivals,
+		})
 	})
+	results := plan.Run(opts.Parallel)
+	for i, v := range variants {
+		res := results[i]
+		t.AddRow(v.name, f2(res.NormalizedTail()), pct(res.ViolationRatio()),
+			f1(res.Goodput()), fmt.Sprintf("%d", res.Groups))
+	}
+	mps := results[len(variants)]
+	t.AddRow("MPS free overlap (no scheduling)", f2(mps.NormalizedTail()),
+		pct(mps.ViolationRatio()), f1(mps.Goodput()), fmt.Sprintf("%d", mps.Groups))
+	kl := results[len(variants)+1]
 	t.AddRow("kernel-level scheduling (Prema-style)", f2(kl.NormalizedTail()),
 		pct(kl.ViolationRatio()), f1(kl.Goodput()), fmt.Sprintf("%d", kl.Groups))
 	t.Notes = append(t.Notes,

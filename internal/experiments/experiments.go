@@ -19,6 +19,7 @@ import (
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 )
 
 // Table is a printable experiment result.
@@ -65,6 +66,11 @@ type Options struct {
 	// UseOracle replaces the trained MLP with the exact oracle model in
 	// Abacus runs (fast path; also the perfect-predictor ablation).
 	UseOracle bool
+	// Parallel bounds the worker count for an experiment's independent
+	// runs (<= 0 uses the runner default). Results are identical at any
+	// setting: every run owns its engine and RNG, and rows keep their
+	// sweep order.
+	Parallel int
 }
 
 // Full returns the reference configuration used to populate EXPERIMENTS.md.
@@ -105,8 +111,17 @@ func pairName(ms []dnn.ModelID) string {
 }
 
 // predictorCache shares trained unified predictors across experiments in
-// one process (training is the expensive part of a full run).
-var predictorCache sync.Map // key string → *predictor.Predictor
+// one process (training is the expensive part of a full run). Entries are
+// created with LoadOrStore and trained under a per-key sync.Once, so
+// concurrent workers asking for the same key block on one training run
+// instead of duplicating it.
+var predictorCache sync.Map // key string → *predictorEntry
+
+type predictorEntry struct {
+	once sync.Once
+	p    *predictor.Predictor
+	err  error
+}
 
 // unifiedPredictor returns a latency model for Abacus runs: the exact
 // oracle in quick mode, otherwise an MLP trained on instance-based samples
@@ -133,25 +148,31 @@ func unifiedPredictorOn(opts Options, models []dnn.ModelID, maxK int, prof gpusi
 		maxK = predictor.MaxCoLocated
 	}
 	key := fmt.Sprintf("%v/%d/%d/%d/%s", models, maxK, opts.SamplesPerPair, opts.Seed, prof.Name)
-	if v, ok := predictorCache.Load(key); ok {
-		return v.(*predictor.Predictor)
+	v, _ := predictorCache.LoadOrStore(key, &predictorEntry{})
+	entry := v.(*predictorEntry)
+	entry.once.Do(func() {
+		cfg := predictor.DefaultSamplerConfig()
+		cfg.Profile = prof
+		cfg.Seed = opts.Seed
+		cfg.Runs = 3
+		// Each co-location degree is profiled by its own sampler, so the
+		// degrees collect concurrently and concatenate in k order — the
+		// same sample sequence the serial loop produced.
+		perK := runner.Map(maxK, opts.Parallel, func(i int) []predictor.Sample {
+			return predictor.Collect(models, i+1, opts.SamplesPerPair, cfg)
+		})
+		var samples []predictor.Sample
+		for _, ks := range perK {
+			samples = append(samples, ks...)
+		}
+		trainCfg := predictor.DefaultTrainConfig()
+		trainCfg.Seed = opts.Seed
+		entry.p, entry.err = predictor.Train(samples, predictor.NewCodec(), trainCfg)
+	})
+	if entry.err != nil {
+		panic(fmt.Sprintf("experiments: training unified predictor: %v", entry.err))
 	}
-	cfg := predictor.DefaultSamplerConfig()
-	cfg.Profile = prof
-	cfg.Seed = opts.Seed
-	cfg.Runs = 3
-	var samples []predictor.Sample
-	for k := 1; k <= maxK; k++ {
-		samples = append(samples, predictor.Collect(models, k, opts.SamplesPerPair, cfg)...)
-	}
-	trainCfg := predictor.DefaultTrainConfig()
-	trainCfg.Seed = opts.Seed
-	p, err := predictor.Train(samples, predictor.NewCodec(), trainCfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: training unified predictor: %v", err))
-	}
-	predictorCache.Store(key, p)
-	return p
+	return entry.p
 }
 
 // f1 formats a float with one decimal; f2/f3 with two/three.

@@ -5,6 +5,7 @@ import (
 
 	"abacus/internal/dnn"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/stats"
 )
 
@@ -41,49 +42,69 @@ func Fig10(opts Options) []Table {
 		epochs = 200
 	}
 
-	var all []predictor.Sample
-	errSums := make([]float64, len(techniques))
-	for _, pair := range pairs {
-		s := predictor.NewSampler(cfg)
-		var samples []predictor.Sample
-		for i := 0; i < opts.SamplesPerPair; i++ {
-			g := s.SampleGroup(pair)
-			samples = append(samples, s.MeasureSample(g))
-		}
-		all = append(all, samples...)
-
-		row := []string{pairName(pair)}
-		for ti, tech := range techniques {
-			tc := predictor.TrainConfig{Technique: tech, Epochs: epochs, Seed: opts.Seed}
-			if tech == predictor.TechMLP {
-				tc.LogTarget = true
-			}
-			_, mape, err := predictor.TrainEval(samples, codec, tc)
-			if err != nil {
-				panic(err)
-			}
-			errSums[ti] += mape
-			row = append(row, pct(mape))
-		}
-		t.AddRow(row...)
-	}
-
-	// Unified model over every pair's samples ("all" column of the paper).
-	allRow := []string{"all (unified)"}
-	var unifiedMLP float64
-	for _, tech := range techniques {
+	techniqueConfig := func(tech predictor.Technique) predictor.TrainConfig {
 		tc := predictor.TrainConfig{Technique: tech, Epochs: epochs, Seed: opts.Seed}
 		if tech == predictor.TechMLP {
 			tc.LogTarget = true
 		}
-		_, mape, err := predictor.TrainEval(all, codec, tc)
+		return tc
+	}
+
+	// Stage 1: profile every pair concurrently. Each pair owns a fresh
+	// sampler seeded from cfg, so per-pair sample streams are the same at
+	// any parallelism, and the unified set concatenates in pair order.
+	perPair := runner.Map(len(pairs), opts.Parallel, func(i int) []predictor.Sample {
+		s := predictor.NewSampler(cfg)
+		var samples []predictor.Sample
+		for j := 0; j < opts.SamplesPerPair; j++ {
+			g := s.SampleGroup(pairs[i])
+			samples = append(samples, s.MeasureSample(g))
+		}
+		return samples
+	})
+	var all []predictor.Sample
+	for _, samples := range perPair {
+		all = append(all, samples...)
+	}
+
+	// Stage 2: per technique, train/evaluate one model per pair
+	// concurrently.
+	errSums := make([]float64, len(techniques))
+	mapes := make([][]float64, len(techniques)) // [technique][pair]
+	for ti, tech := range techniques {
+		_, ms, err := predictor.TrainEvalEach(perPair, codec, techniqueConfig(tech), opts.Parallel)
 		if err != nil {
 			panic(err)
 		}
-		if tech == predictor.TechMLP {
-			unifiedMLP = mape
+		mapes[ti] = ms
+		for _, m := range ms {
+			errSums[ti] += m
 		}
-		allRow = append(allRow, pct(mape))
+	}
+	for i, pair := range pairs {
+		row := []string{pairName(pair)}
+		for ti := range techniques {
+			row = append(row, pct(mapes[ti][i]))
+		}
+		t.AddRow(row...)
+	}
+
+	// Unified model over every pair's samples ("all" column of the paper);
+	// the three techniques train concurrently on the shared read-only set.
+	allMapes := runner.Map(len(techniques), opts.Parallel, func(ti int) float64 {
+		_, mape, err := predictor.TrainEval(all, codec, techniqueConfig(techniques[ti]))
+		if err != nil {
+			panic(err)
+		}
+		return mape
+	})
+	allRow := []string{"all (unified)"}
+	var unifiedMLP float64
+	for ti, tech := range techniques {
+		if tech == predictor.TechMLP {
+			unifiedMLP = allMapes[ti]
+		}
+		allRow = append(allRow, pct(allMapes[ti]))
 	}
 	t.AddRow(allRow...)
 
@@ -125,12 +146,19 @@ func nwiseAccuracy(opts Options, cfg predictor.SamplerConfig, codec predictor.Co
 		Header: []string{"co-location degree", "samples", "MAPE"},
 	}
 	perCombo := opts.SamplesPerPair
-	for _, k := range []int{3, 4} {
+	degrees := []int{3, 4}
+	rows := runner.Map(len(degrees), opts.Parallel, func(di int) []string {
+		k := degrees[di]
 		// Train on degrees 1..k so the model sees the full group-size range
-		// it must serve; evaluate on fresh degree-k groups only.
+		// it must serve; evaluate on fresh degree-k groups only. Each
+		// degree profiles with its own sampler, so the sub-collections run
+		// concurrently and concatenate in degree order.
+		perK := runner.Map(k, opts.Parallel, func(i int) []predictor.Sample {
+			return predictor.Collect(quad, i+1, perCombo, cfg)
+		})
 		var train []predictor.Sample
-		for kk := 1; kk <= k; kk++ {
-			train = append(train, predictor.Collect(quad, kk, perCombo, cfg)...)
+		for _, ks := range perK {
+			train = append(train, ks...)
 		}
 		tc := predictor.TrainConfig{Technique: predictor.TechMLP, Epochs: epochs, LogTarget: true, Seed: opts.Seed}
 		p, err := predictor.Train(train, codec, tc)
@@ -140,7 +168,10 @@ func nwiseAccuracy(opts Options, cfg predictor.SamplerConfig, codec predictor.Co
 		evalCfg := cfg
 		evalCfg.Seed = cfg.Seed + 10_000
 		eval := predictor.Collect(quad, k, perCombo/4+1, evalCfg)
-		t.AddRow(fmt.Sprintf("%d-wise", k), fmt.Sprintf("%d", len(train)), pct(p.Evaluate(eval)))
+		return []string{fmt.Sprintf("%d-wise", k), fmt.Sprintf("%d", len(train)), pct(p.Evaluate(eval))}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes, "paper: 4.9% (triplets), 6.4% (quadruplets) with the unified model")
 	return t

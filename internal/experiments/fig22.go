@@ -6,6 +6,7 @@ import (
 	"abacus/internal/cluster"
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
+	"abacus/internal/runner"
 	"abacus/internal/trace"
 )
 
@@ -53,24 +54,31 @@ func Fig22(opts Options) []Table {
 	gen := trace.NewGenerator(models, opts.Seed)
 	arrivals := gen.MAF(mafCfg)
 
-	run := func(policy cluster.Policy) cluster.Result {
-		cfg := cluster.Config{
-			Policy:      policy,
-			Nodes:       nodes,
-			GPUsPerNode: gpusPerNode,
-			Models:      models,
-			QoS:         100,
-			Arrivals:    arrivals,
-			Profile:     profile,
-			BucketMS:    bucketMS,
-		}
-		if policy == cluster.KubeAbacus {
-			cfg.Model = v100Predictor(opts, models)
-		}
-		return cluster.Run(cfg)
+	// The two policies replay the same (read-only) trace on separate
+	// simulated fleets, side by side. Abacus's predictor trains inside its
+	// job, overlapping Clockwork's run.
+	var plan runner.Plan[cluster.Result]
+	for _, policy := range []cluster.Policy{cluster.KubeAbacus, cluster.Clockwork} {
+		policy := policy
+		plan.Add("fig22/"+policy.String(), func() cluster.Result {
+			cfg := cluster.Config{
+				Policy:      policy,
+				Nodes:       nodes,
+				GPUsPerNode: gpusPerNode,
+				Models:      models,
+				QoS:         100,
+				Arrivals:    arrivals,
+				Profile:     profile,
+				BucketMS:    bucketMS,
+			}
+			if policy == cluster.KubeAbacus {
+				cfg.Model = v100Predictor(opts, models)
+			}
+			return cluster.Run(cfg)
+		})
 	}
-	abacus := run(cluster.KubeAbacus)
-	clock := run(cluster.Clockwork)
+	results := plan.Run(opts.Parallel)
+	abacus, clock := results[0], results[1]
 
 	timeline := Table{
 		ID:    "fig22",

@@ -7,6 +7,7 @@ import (
 	"abacus/internal/executor"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/sched"
 	"abacus/internal/serving"
 	"abacus/internal/sim"
@@ -87,11 +88,19 @@ func migTable(opts Options, id, title string, qps float64,
 		Title:  title,
 		Header: []string{"configuration", "FCFS", "SJF", "EDF", "Abacus"},
 	}
-	for ci, c := range migCases() {
+	// Every (configuration, policy) cell is an independent simulation with
+	// a per-case seed; the fan-out covers the whole grid and the rows are
+	// reassembled in case × policy order.
+	cases := migCases()
+	policies := serving.AllPolicies()
+	cells := runner.Map(len(cases)*len(policies), opts.Parallel, func(i int) serving.Result {
+		ci, pi := i/len(policies), i%len(policies)
+		return runMIG(opts, cases[ci], policies[pi], qps, opts.Seed+200+int64(ci))
+	})
+	for ci, c := range cases {
 		row := []string{c.name}
-		for _, policy := range serving.AllPolicies() {
-			res := runMIG(opts, c, policy, qps, opts.Seed+200+int64(ci))
-			row = append(row, format(metric(res)))
+		for pi := range policies {
+			row = append(row, format(metric(cells[ci*len(policies)+pi])))
 		}
 		t.AddRow(row...)
 	}

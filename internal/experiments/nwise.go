@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"abacus/internal/dnn"
+	"abacus/internal/runner"
 	"abacus/internal/serving"
 )
 
@@ -57,8 +58,11 @@ func nwiseTable(opts Options, id, title string, qps float64,
 	// One model covering singleton through quadruplet groups of the §7.4
 	// deployment set.
 	shared := unifiedPredictor(opts, []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert}, 4)
-	for i, set := range nwiseSets() {
-		run := runCoLocation(opts, set, qps, nil, opts.Seed+100+int64(i), shared)
+	sets := nwiseSets()
+	runs := runner.Map(len(sets), opts.Parallel, func(i int) pairRun {
+		return runCoLocation(opts, sets[i], qps, nil, opts.Seed+100+int64(i), shared)
+	})
+	for _, run := range runs {
 		row := []string{run.name}
 		for _, policy := range serving.AllPolicies() {
 			v := metric(run.results[policy])

@@ -3,6 +3,7 @@ package experiments
 import (
 	"abacus/internal/dnn"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/sched"
 	"abacus/internal/serving"
 	"abacus/internal/trace"
@@ -104,12 +105,16 @@ func Fig16(opts Options) []Table {
 		Header: []string{"pair", "FCFS", "SJF", "EDF", "Abacus"},
 	}
 	// One unified model across all pairs (the paper's deployment: a single
-	// duration model for the whole zoo).
+	// duration model for the whole zoo). Trained before the fan-out so the
+	// workers share one read-only model.
 	shared := unifiedAcrossPairs(opts)
+	pairs := evalPairs(opts)
+	runs := runner.Map(len(pairs), opts.Parallel, func(i int) pairRun {
+		services := sched.SmallServices(pairs[i], 2, p)
+		return runCoLocation(opts, pairs[i], 50, services, opts.Seed+int64(i), shared)
+	})
 	var worst float64
-	for i, pair := range evalPairs(opts) {
-		services := sched.SmallServices(pair, 2, p)
-		run := runCoLocation(opts, pair, 50, services, opts.Seed+int64(i), shared)
+	for _, run := range runs {
 		row := []string{run.name}
 		for _, policy := range serving.AllPolicies() {
 			res := run.results[policy]
@@ -146,8 +151,14 @@ func pairwiseTable(opts Options, id, title string, qps float64, services []*sche
 	}
 	perPolicy := map[serving.PolicyKind][]float64{}
 	shared := unifiedAcrossPairs(opts)
-	for i, pair := range evalPairs(opts) {
-		run := runCoLocation(opts, pair, qps, services, opts.Seed+int64(i), shared)
+	pairs := evalPairs(opts)
+	// Every pair is an independent deterministic simulation seeded by its
+	// index; the fan-out preserves row order, so the table is identical at
+	// any parallelism.
+	runs := runner.Map(len(pairs), opts.Parallel, func(i int) pairRun {
+		return runCoLocation(opts, pairs[i], qps, services, opts.Seed+int64(i), shared)
+	})
+	for _, run := range runs {
 		row := []string{run.name}
 		for _, policy := range serving.AllPolicies() {
 			v := metric(run.results[policy])

@@ -12,6 +12,7 @@ import (
 	"abacus/internal/executor"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/stats"
 )
 
@@ -39,20 +40,30 @@ func PeakQPS(opts Options) []Table {
 	if duration < 3000 {
 		duration = 3000
 	}
+	// Every (pair, policy) bisection is independent: the probe sequence is
+	// fixed by the seed and bracket, so the whole grid fans out at once.
+	// Only the Abacus cells train a predictor; the per-key once in
+	// unifiedPredictor keeps concurrent cells from duplicating that work.
+	policies := serving.AllPolicies()
+	caps := runner.Map(len(pairs)*len(policies), opts.Parallel, func(j int) float64 {
+		i, pi := j/len(policies), j%len(policies)
+		cfg := serving.CapacityConfig{
+			Policy:     policies[pi],
+			Models:     pairs[i],
+			DurationMS: duration,
+			Seed:       opts.Seed + int64(i),
+		}
+		if policies[pi] == serving.PolicyAbacus {
+			cfg.Model = unifiedPredictor(opts, pairs[i], 2)
+		}
+		qps, _ := serving.PeakQPS(cfg)
+		return qps
+	})
 	for i, pair := range pairs {
 		row := []string{pairName(pair)}
 		var fcfs, abacus float64
-		for _, policy := range serving.AllPolicies() {
-			cfg := serving.CapacityConfig{
-				Policy:     policy,
-				Models:     pair,
-				DurationMS: duration,
-				Seed:       opts.Seed + int64(i),
-			}
-			if policy == serving.PolicyAbacus {
-				cfg.Model = unifiedPredictor(opts, pair, 2)
-			}
-			qps, _ := serving.PeakQPS(cfg)
+		for pi, policy := range policies {
+			qps := caps[i*len(policies)+pi]
 			row = append(row, f1(qps))
 			switch policy {
 			case serving.PolicyFCFS:
@@ -88,7 +99,8 @@ func Segments(opts Options) []Table {
 		{dnn.VGG16, dnn.VGG19},
 		{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert},
 	}
-	for i, models := range sets {
+	rows := runner.Map(len(sets), opts.Parallel, func(i int) []string {
+		models := sets[i]
 		p := profile()
 		eng := sim.NewEngine()
 		dev := gpusim.New(eng, p)
@@ -121,8 +133,11 @@ func Segments(opts Options) []Table {
 			qs := stats.Percentiles(segs, 50, 99)
 			p50, p99 = qs[0], qs[1]
 		}
-		t.AddRow(pairName(models), fmt.Sprintf("%d", ctrl.Rounds()),
-			f2(members), f1(ops), f1(p50), f1(p99))
+		return []string{pairName(models), fmt.Sprintf("%d", ctrl.Rounds()),
+			f2(members), f1(ops), f1(p50), f1(p99)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"overlap-friendly deployments pack more queries and operators per group;",

@@ -3,6 +3,8 @@ package ml
 import (
 	"fmt"
 	"math/rand"
+
+	"abacus/internal/runner"
 )
 
 // KFold partitions sample indices [0, n) into k shuffled folds whose sizes
@@ -23,13 +25,16 @@ func KFold(n, k int, rng *rand.Rand) [][]int {
 // fresh model (obtained from newModel) on the remaining folds and evaluates
 // errFn(predictions, truths) on the held-out fold, returning the per-fold
 // errors. This implements the paper's MLP cross-validation bar in Figure 10.
+//
+// Folds are drawn from rng up front and then trained concurrently (each
+// fold owns a fresh model), so the per-fold errors are identical at any
+// parallelism.
 func CrossValidate(ds Dataset, k int, rng *rand.Rand,
 	newModel func() Regressor,
 	errFn func(pred, actual []float64) float64) ([]float64, error) {
 
 	folds := KFold(ds.Len(), k, rng)
-	errs := make([]float64, 0, k)
-	for fi, fold := range folds {
+	errs, err := runner.MapErr(len(folds), 0, func(fi int) (float64, error) {
 		var trainIdx []int
 		for fj, other := range folds {
 			if fj != fi {
@@ -38,10 +43,13 @@ func CrossValidate(ds Dataset, k int, rng *rand.Rand,
 		}
 		model := newModel()
 		if err := model.Fit(ds.Subset(trainIdx)); err != nil {
-			return nil, fmt.Errorf("ml: fold %d: %w", fi, err)
+			return 0, fmt.Errorf("ml: fold %d: %w", fi, err)
 		}
-		test := ds.Subset(fold)
-		errs = append(errs, errFn(PredictAll(model, test.X), test.Y))
+		test := ds.Subset(folds[fi])
+		return errFn(PredictAll(model, test.X), test.Y), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return errs, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // MLP is a fully connected feed-forward regression network trained with
@@ -28,8 +29,10 @@ type MLP struct {
 	targets targetScaler
 	layers  []denseLayer
 
-	// scratch buffers for allocation-free prediction.
-	scratch [][]float64
+	// scratch pools per-prediction activation buffers. A fitted MLP is
+	// read-only, and pooling (instead of one shared buffer set) keeps
+	// Predict safe for the concurrent sweeps that share one trained model.
+	scratch *sync.Pool
 }
 
 // denseLayer is one affine layer: out = W·in + b, W stored row-major
@@ -256,11 +259,18 @@ func (l *denseLayer) adamStep(g denseGrads, scale, lr, beta1, beta2, eps float64
 }
 
 func (m *MLP) initScratch() {
-	m.scratch = make([][]float64, len(m.layers)+1)
-	m.scratch[0] = make([]float64, m.layers[0].in)
+	dims := make([]int, len(m.layers)+1)
+	dims[0] = m.layers[0].in
 	for l := range m.layers {
-		m.scratch[l+1] = make([]float64, m.layers[l].out)
+		dims[l+1] = m.layers[l].out
 	}
+	m.scratch = &sync.Pool{New: func() any {
+		bufs := make([][]float64, len(dims))
+		for i, d := range dims {
+			bufs[i] = make([]float64, d)
+		}
+		return &bufs
+	}}
 }
 
 // Predict evaluates the network at one raw feature vector.
@@ -271,9 +281,13 @@ func (m *MLP) Predict(x []float64) float64 {
 	if len(x) != m.layers[0].in {
 		panic(fmt.Sprintf("ml: MLP input width %d, want %d", len(x), m.layers[0].in))
 	}
-	m.scaler.TransformTo(m.scratch[0], x)
-	m.forward(m.scratch[0], m.scratch)
-	return m.targets.unscale(m.scratch[len(m.scratch)-1][0])
+	bufs := m.scratch.Get().(*[][]float64)
+	acts := *bufs
+	m.scaler.TransformTo(acts[0], x)
+	m.forward(acts[0], acts)
+	y := m.targets.unscale(acts[len(acts)-1][0])
+	m.scratch.Put(bufs)
+	return y
 }
 
 // PredictBatch evaluates the network over a batch of raw feature vectors —

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 
 	"abacus/internal/ml"
+	"abacus/internal/runner"
 	"abacus/internal/stats"
 )
 
@@ -186,6 +187,30 @@ func TrainEval(samples []Sample, codec Codec, cfg TrainConfig) (*Predictor, floa
 	p := &Predictor{codec: codec, model: model}
 	err := stats.MAPE(ml.PredictAll(model, test.X), test.Y)
 	return p, err, nil
+}
+
+// TrainEvalEach runs TrainEval over several sample sets concurrently —
+// the per-pair duration-model sweep of Figure 10. Every set trains a
+// fresh model from the same config, so the per-set predictors and MAPEs
+// (returned in set order) are identical at any parallelism.
+func TrainEvalEach(sets [][]Sample, codec Codec, cfg TrainConfig, parallel int) ([]*Predictor, []float64, error) {
+	type fit struct {
+		p    *Predictor
+		mape float64
+	}
+	fits, err := runner.MapErr(len(sets), parallel, func(i int) (fit, error) {
+		p, mape, err := TrainEval(sets[i], codec, cfg)
+		return fit{p, mape}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ps := make([]*Predictor, len(fits))
+	mapes := make([]float64, len(fits))
+	for i, f := range fits {
+		ps[i], mapes[i] = f.p, f.mape
+	}
+	return ps, mapes, nil
 }
 
 // CrossValidate runs k-fold cross validation of the configured technique

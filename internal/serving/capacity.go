@@ -5,6 +5,7 @@ import (
 
 	"abacus/internal/dnn"
 	"abacus/internal/predictor"
+	"abacus/internal/runner"
 	"abacus/internal/trace"
 )
 
@@ -21,17 +22,31 @@ type CapacityConfig struct {
 	DurationMS float64
 	// LoQPS/HiQPS bracket the search (defaults 5 and 400).
 	LoQPS, HiQPS float64
-	// ToleranceQPS stops the bisection (default 4).
+	// ToleranceQPS stops the search (default 4).
 	ToleranceQPS float64
+	// Probes is the number of evenly spaced interior load points simulated
+	// per search round (default 1 = classic bisection). The probe sequence
+	// depends only on Probes, never on worker parallelism, so results are
+	// identical at any Parallel; raising Probes narrows the bracket faster
+	// per round at the cost of more simulations, which then run
+	// concurrently.
+	Probes int
+	// Parallel bounds concurrent probe simulations per round (<= 0 uses
+	// the runner default).
+	Parallel int
 	// Seed drives the workload.
 	Seed int64
 }
 
-// PeakQPS finds, by bisection, the highest offered load (queries/s) the
-// deployment sustains under the policy while keeping the QoS violation
-// ratio below the threshold — the paper's notion of peak throughput with a
-// QoS constraint (§7.3), measured directly instead of at one fixed offered
-// load. It returns the supported load and the result measured at it.
+// PeakQPS finds the highest offered load (queries/s) the deployment
+// sustains under the policy while keeping the QoS violation ratio below
+// the threshold — the paper's notion of peak throughput with a QoS
+// constraint (§7.3), measured directly instead of at one fixed offered
+// load. Each round simulates cfg.Probes interior load points of the
+// current bracket concurrently and keeps the bracket between the highest
+// sustained point and the first violating one; with one probe per round
+// this is exactly bisection. It returns the supported load and the result
+// measured at it.
 func PeakQPS(cfg CapacityConfig) (float64, Result) {
 	if len(cfg.Models) == 0 {
 		panic("serving: no models")
@@ -51,11 +66,18 @@ func PeakQPS(cfg CapacityConfig) (float64, Result) {
 	if cfg.ToleranceQPS == 0 {
 		cfg.ToleranceQPS = 4
 	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 1
+	}
 	if cfg.HiQPS <= cfg.LoQPS {
 		panic(fmt.Sprintf("serving: bad QPS bracket [%v, %v]", cfg.LoQPS, cfg.HiQPS))
 	}
 
-	probe := func(qps float64) (bool, Result) {
+	type outcome struct {
+		ok  bool
+		res Result
+	}
+	probe := func(qps float64) outcome {
 		gen := trace.NewGenerator(cfg.Models, cfg.Seed)
 		res := Run(RunConfig{
 			Policy:   cfg.Policy,
@@ -63,25 +85,43 @@ func PeakQPS(cfg CapacityConfig) (float64, Result) {
 			Arrivals: gen.Poisson(qps, cfg.DurationMS),
 			Model:    cfg.Model,
 		})
-		return res.ViolationRatio() <= cfg.MaxViolation, res
+		return outcome{res.ViolationRatio() <= cfg.MaxViolation, res}
 	}
 
 	lo, hi := cfg.LoQPS, cfg.HiQPS
-	okLo, resLo := probe(lo)
-	if !okLo {
+	ends := runner.Map(2, cfg.Parallel, func(i int) outcome {
+		return probe([]float64{lo, hi}[i])
+	})
+	if !ends[0].ok {
 		// Even the bracket floor violates; report it as the (non-)capacity.
-		return lo, resLo
+		return lo, ends[0].res
 	}
-	if okHi, resHi := probe(hi); okHi {
-		return hi, resHi // bracket ceiling sustained; capacity ≥ hi
+	if ends[1].ok {
+		return hi, ends[1].res // bracket ceiling sustained; capacity ≥ hi
 	}
-	best := resLo
+	best := ends[0].res
 	for hi-lo > cfg.ToleranceQPS {
-		mid := (lo + hi) / 2
-		if ok, res := probe(mid); ok {
-			lo, best = mid, res
-		} else {
-			hi = mid
+		pts := make([]float64, cfg.Probes)
+		for j := range pts {
+			pts[j] = lo + (hi-lo)*float64(j+1)/float64(cfg.Probes+1)
+		}
+		outcomes := runner.Map(len(pts), cfg.Parallel, func(j int) outcome {
+			return probe(pts[j])
+		})
+		// The bracket closes on the highest sustained point below the first
+		// violating one, matching bisection's monotonicity assumption.
+		firstFail := len(pts)
+		for j, o := range outcomes {
+			if !o.ok {
+				firstFail = j
+				break
+			}
+		}
+		if firstFail > 0 {
+			lo, best = pts[firstFail-1], outcomes[firstFail-1].res
+		}
+		if firstFail < len(pts) {
+			hi = pts[firstFail]
 		}
 	}
 	return lo, best
