@@ -23,8 +23,10 @@ fmt-check:
 test:
 	$(GO) test ./...
 
+# The experiments package alone can exceed go test's default 10-minute
+# per-package timeout under the race detector on small machines.
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

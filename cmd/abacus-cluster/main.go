@@ -12,13 +12,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
+	"abacus/internal/cli"
 	"abacus/internal/cluster"
-	"abacus/internal/dnn"
 	"abacus/internal/trace"
 )
+
+var fail = cli.Failer("abacus-cluster")
 
 func main() {
 	nodes := flag.Int("nodes", 4, "cluster nodes")
@@ -31,16 +32,16 @@ func main() {
 		"worker count for the side-by-side policy runs (results are identical at any setting)")
 	modelsFlag := flag.String("models", "Res101,Res152,VGG19,Bert", "quad-wise deployment")
 	csvPrefix := flag.String("csv", "", "write per-policy timelines to <prefix>-<policy>.csv")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
 
-	var models []dnn.ModelID
-	for _, name := range strings.Split(*modelsFlag, ",") {
-		m, err := dnn.ModelIDByName(strings.TrimSpace(name))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
-			os.Exit(1)
-		}
-		models = append(models, m)
+	models, err := cli.ParseModels(*modelsFlag)
+	if err != nil {
+		fail(err)
 	}
 
 	durationMS := *minutes * 60_000
@@ -73,12 +74,10 @@ func main() {
 			name := fmt.Sprintf("%s-%s.csv", *csvPrefix, res.Policy)
 			f, err := os.Create(name)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			if err := res.WriteTimelineCSV(f); err != nil {
-				fmt.Fprintln(os.Stderr, "abacus-cluster:", err)
-				os.Exit(1)
+				fail(err)
 			}
 			f.Close()
 			fmt.Println("wrote", name)

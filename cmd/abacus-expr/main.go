@@ -17,7 +17,10 @@ import (
 	"time"
 
 	"abacus"
+	"abacus/internal/cli"
 )
+
+var fail = cli.Failer("abacus-expr")
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id, comma-separated list, or 'all' (see -list)")
@@ -25,7 +28,12 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(),
 		"worker count for the concurrent sweeps (results are identical at any setting)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
 
 	abacus.SetParallel(*parallel)
 
@@ -43,8 +51,7 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		if err := abacus.RunExperiment(id, *quick, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "abacus-expr:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Printf("[%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
 	}

@@ -1,0 +1,99 @@
+// Command abacus-gateway serves co-located DNN services over HTTP: the
+// Abacus runtime paced against the wall clock, with predictor-driven
+// admission control, /statz JSON counters, and Prometheus /metrics.
+// SIGINT/SIGTERM drain gracefully: in-flight queries are answered before
+// the listener closes.
+//
+// Usage:
+//
+//	abacus-gateway -addr 127.0.0.1:8080 -models Res152,IncepV3
+//	abacus-gateway -models Res101,Res152,VGG19,Bert -speedup 10 -queue-cap 32
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"abacus"
+	"abacus/internal/cli"
+)
+
+var fail = cli.Failer("abacus-gateway")
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated co-located models")
+	speedup := flag.Float64("speedup", 1, "virtual ms per wall ms (1 = real time)")
+	queueCap := flag.Int("queue-cap", 64, "admitted-but-unfinished queries per service before shedding")
+	qosFactor := flag.Float64("qos-factor", 2, "QoS target as a multiple of max-input solo latency")
+	predictorFile := flag.String("predictor", "", "trained predictor JSON (see abacus-train -model-out; default: exact oracle)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on shutdown")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
+
+	models, err := cli.ParseModels(*modelsFlag)
+	if err != nil {
+		fail(err)
+	}
+	cfg := abacus.GatewayConfig{
+		Models:       models,
+		QoSFactor:    *qosFactor,
+		Speedup:      *speedup,
+		QueueCap:     *queueCap,
+		DrainTimeout: *drainTimeout,
+	}
+	if *predictorFile != "" {
+		f, err := os.Open(*predictorFile)
+		if err != nil {
+			fail(err)
+		}
+		p, err := abacus.LoadPredictor(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		cfg.Model = p
+	}
+
+	gw, err := abacus.NewGateway(cfg)
+	if err != nil {
+		fail(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("abacus-gateway serving %v on http://%s (speedup %g, queue cap %d)\n",
+		models, ln.Addr(), *speedup, *queueCap)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	served := make(chan error, 1)
+	go func() { served <- gw.ServeListener(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "abacus-gateway: %v — draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout+5*time.Second)
+		defer cancel()
+		if err := gw.Shutdown(ctx); err != nil {
+			fail(err)
+		}
+		<-served
+		fmt.Fprintln(os.Stderr, "abacus-gateway: drained")
+	case err := <-served:
+		if err != nil {
+			fail(err)
+		}
+	}
+}

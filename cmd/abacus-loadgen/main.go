@@ -1,0 +1,134 @@
+// Command abacus-loadgen drives a running abacus-gateway over HTTP: an
+// open-loop mode replaying a seeded Poisson schedule (or a CSV trace)
+// against the wall clock, and a closed-loop mode with a fixed number of
+// in-flight requesters. It discovers the deployment from /statz, and in
+// open-loop mode replays the identical schedule through the offline
+// simulator to report predicted-vs-delivered latency for the same seed.
+//
+// Usage:
+//
+//	abacus-loadgen -target http://127.0.0.1:8080 -qps 30 -seconds 10 -seed 1
+//	abacus-loadgen -closed -concurrency 8 -requests 500
+//	abacus-loadgen -trace arrivals.csv -no-compare
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"abacus/internal/cli"
+	"abacus/internal/dnn"
+	"abacus/internal/server"
+	"abacus/internal/trace"
+)
+
+var fail = cli.Failer("abacus-loadgen")
+
+func main() {
+	target := flag.String("target", "http://127.0.0.1:8080", "gateway base URL")
+	qps := flag.Float64("qps", 30, "aggregate offered load, queries per second")
+	seconds := flag.Float64("seconds", 10, "schedule duration in virtual seconds")
+	seed := flag.Int64("seed", 1, "workload seed")
+	speedup := flag.Float64("speedup", 0, "schedule pacing factor (0: match the gateway's)")
+	deadlineMS := flag.Float64("deadline-ms", 0, "per-request SLO override in virtual ms (0: service QoS)")
+	traceIn := flag.String("trace", "", "replay an arrival trace CSV instead of generating Poisson load")
+	closed := flag.Bool("closed", false, "closed-loop mode: keep -concurrency requests in flight")
+	concurrency := flag.Int("concurrency", 4, "closed-loop in-flight requesters")
+	requests := flag.Int("requests", 0, "closed-loop total requests (0: schedule length)")
+	noCompare := flag.Bool("no-compare", false, "skip the offline simulator comparison")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
+
+	ctx := context.Background()
+	client := server.NewClient(*target, nil)
+	if err := client.WaitReady(ctx, 5*time.Second); err != nil {
+		fail(err)
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		fail(err)
+	}
+	models := make([]dnn.ModelID, len(st.Services))
+	qos := make([]float64, len(st.Services))
+	for i, svc := range st.Services {
+		m, err := dnn.ModelIDByName(svc.Model)
+		if err != nil {
+			fail(fmt.Errorf("gateway serves unknown model %q: %w", svc.Model, err))
+		}
+		models[i] = m
+		qos[i] = svc.QoSMS
+	}
+	pace := *speedup
+	if pace <= 0 {
+		pace = st.Speedup
+	}
+	fmt.Printf("gateway serves %v (speedup %g)\n", models, st.Speedup)
+
+	var arrivals []trace.Arrival
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fail(err)
+		}
+		arrivals, err = trace.ReadCSV(f, len(models))
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("replaying %d arrivals from %s\n", len(arrivals), *traceIn)
+	} else {
+		arrivals = trace.NewGenerator(models, *seed).Poisson(*qps, *seconds*1000)
+		fmt.Printf("generated %d arrivals (%.0f QPS over %.0fs, seed %d)\n",
+			len(arrivals), *qps, *seconds, *seed)
+	}
+
+	res, err := server.RunLoad(ctx, server.LoadConfig{
+		Client:      client,
+		Models:      models,
+		Arrivals:    arrivals,
+		Speedup:     pace,
+		DeadlineMS:  *deadlineMS,
+		Closed:      *closed,
+		Concurrency: *concurrency,
+		Requests:    *requests,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	for i := range res.PerService {
+		printStats(models[i].String(), &res.PerService[i])
+	}
+	printStats("TOTAL", &res.Total)
+	fmt.Printf("[%d requests in %.1fs wall]\n", res.Total.Sent, res.WallSeconds)
+
+	if !*noCompare && !*closed && res.Total.Completed > 0 {
+		offline := server.OfflineBaseline(models, qos, arrivals, nil)
+		offP99 := offline.TailLatency(-1, 99)
+		liveP99 := res.Total.P99MS
+		delta := math.NaN()
+		if offP99 > 0 {
+			delta = 100 * (liveP99 - offP99) / offP99
+		}
+		fmt.Printf("offline simulator (same seed): p99 %.2f ms vs live %.2f ms (Δ %+.1f%%), goodput %.1f q/s\n",
+			offP99, liveP99, delta, offline.Goodput())
+	}
+}
+
+func printStats(name string, s *server.LoadStats) {
+	fmt.Printf("%-8s sent=%d accepted=%d completed=%d violated=%d dropped=%d rej(deadline/queue)=%d/%d 503=%d err=%d",
+		name, s.Sent, s.Accepted, s.Completed, s.Violated, s.Dropped,
+		s.RejectedDeadline, s.RejectedQueue, s.Unavailable, s.Errors)
+	if s.Completed > 0 {
+		fmt.Printf(" p50=%.2fms p99=%.2fms goodput=%.1f q/s", s.P50MS, s.P99MS, s.GoodputQPS)
+	}
+	fmt.Println()
+}

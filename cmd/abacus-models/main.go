@@ -16,16 +16,24 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"abacus/internal/cli"
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
 )
+
+var fail = cli.Failer("abacus-models")
 
 func main() {
 	model := flag.String("model", "", "model to profile (empty: zoo summary)")
 	batch := flag.Int("batch", 32, "batch size")
 	seqlen := flag.Int("seqlen", 64, "sequence length (sequence models)")
 	csvOut := flag.String("csv", "", "write the per-operator profile as CSV")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
 
 	p := gpusim.A100Profile()
 	if *model == "" {
@@ -84,9 +92,4 @@ func summary(p gpusim.Profile) {
 			soloMin, soloMax, 2*(soloMax+transfer))
 	}
 	tw.Flush()
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "abacus-models:", err)
-	os.Exit(1)
 }

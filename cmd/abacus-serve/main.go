@@ -11,11 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"abacus"
+	"abacus/internal/cli"
 	"abacus/internal/trace"
 )
+
+var fail = cli.Failer("abacus-serve")
 
 func main() {
 	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated model names (Res50,Res101,Res152,IncepV3,VGG16,VGG19,Bert)")
@@ -29,29 +31,20 @@ func main() {
 	csvOut := flag.String("csv", "", "write per-query records to this CSV file")
 	traceIn := flag.String("trace", "", "replay an arrival trace CSV instead of generating Poisson load")
 	traceOut := flag.String("trace-out", "", "write the generated arrival trace to this CSV file")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
-
-	var models []abacus.Model
-	for _, name := range strings.Split(*modelsFlag, ",") {
-		m, err := abacus.ModelByName(strings.TrimSpace(name))
-		if err != nil {
-			fail(err)
-		}
-		models = append(models, m)
+	if *version {
+		fmt.Println(cli.Version())
+		return
 	}
 
-	var policy abacus.Policy
-	switch strings.ToUpper(*policyFlag) {
-	case "FCFS":
-		policy = abacus.PolicyFCFS
-	case "SJF":
-		policy = abacus.PolicySJF
-	case "EDF":
-		policy = abacus.PolicyEDF
-	case "ABACUS":
-		policy = abacus.PolicyAbacus
-	default:
-		fail(fmt.Errorf("unknown policy %q", *policyFlag))
+	models, err := cli.ParseModels(*modelsFlag)
+	if err != nil {
+		fail(err)
+	}
+	policy, err := cli.ParsePolicy(*policyFlag)
+	if err != nil {
+		fail(err)
 	}
 
 	cfg := abacus.SystemConfig{Models: models, Policy: policy, Seed: *seed}
@@ -132,9 +125,4 @@ func main() {
 	}
 	fmt.Printf("p99 latency (all services): %.2f ms, SM utilization %.1f%%\n",
 		report.TailLatency(-1, 99), 100*report.Utilization())
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "abacus-serve:", err)
-	os.Exit(1)
 }

@@ -14,13 +14,14 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
-	"abacus/internal/dnn"
+	"abacus/internal/cli"
 	"abacus/internal/predictor"
 	"abacus/internal/runner"
 )
+
+var fail = cli.Failer("abacus-train")
 
 func main() {
 	modelsFlag := flag.String("models", "Res50,Res101,Res152,IncepV3,VGG16,VGG19,Bert", "comma-separated model names")
@@ -33,7 +34,12 @@ func main() {
 	out := flag.String("out", "", "write collected samples to this JSON file")
 	modelOut := flag.String("model-out", "", "write the trained MLP predictor to this JSON file")
 	in := flag.String("in", "", "load samples from this JSON file instead of collecting")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
 
 	runner.SetDefaultParallel(*parallel)
 	start := time.Now()
@@ -51,13 +57,9 @@ func main() {
 		}
 		fmt.Printf("loaded %d samples from %s\n", len(samples), *in)
 	} else {
-		var models []dnn.ModelID
-		for _, name := range strings.Split(*modelsFlag, ",") {
-			m, err := dnn.ModelIDByName(strings.TrimSpace(name))
-			if err != nil {
-				fail(err)
-			}
-			models = append(models, m)
+		models, err := cli.ParseModels(*modelsFlag)
+		if err != nil {
+			fail(err)
 		}
 		cfg := predictor.DefaultSamplerConfig()
 		cfg.Seed = *seed
@@ -132,9 +134,4 @@ func main() {
 		fmt.Printf("wrote trained predictor to %s\n", *modelOut)
 	}
 	fmt.Printf("[done in %.1fs with %d workers]\n", time.Since(start).Seconds(), *parallel)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "abacus-train:", err)
-	os.Exit(1)
 }

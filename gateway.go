@@ -1,0 +1,36 @@
+package abacus
+
+import (
+	"abacus/internal/server"
+)
+
+// The online serving gateway wraps the Abacus runtime in a wall-clock event
+// loop behind an HTTP front end with predictor-driven admission control (see
+// internal/server and internal/realtime). The facade re-exports it so
+// embedders can run a gateway without importing internal packages:
+//
+//	gw, _ := abacus.NewGateway(abacus.GatewayConfig{
+//		Models: []abacus.Model{abacus.ResNet152, abacus.InceptionV3},
+//	})
+//	ln, _ := net.Listen("tcp", ":8080")
+//	go gw.ServeListener(ln)
+//	defer gw.Shutdown(context.Background())
+type (
+	// Gateway is the HTTP serving front end around one simulated GPU.
+	Gateway = server.Server
+	// GatewayConfig configures a Gateway (models, speedup, queue bounds).
+	GatewayConfig = server.Config
+	// GatewayClient is the Go client for a running Gateway.
+	GatewayClient = server.Client
+	// InferRequest is the POST /v1/infer body.
+	InferRequest = server.InferRequest
+	// InferResponse is the /v1/infer reply.
+	InferResponse = server.InferResponse
+)
+
+// NewGateway builds an online serving gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return server.New(cfg) }
+
+// NewGatewayClient returns a client for the gateway at base, e.g.
+// "http://127.0.0.1:8080". A nil httpClient uses a client with no timeout.
+func NewGatewayClient(base string) *GatewayClient { return server.NewClient(base, nil) }

@@ -1,0 +1,76 @@
+// Package cli collects the helpers the abacus command-line binaries share:
+// uniform error exit, model-list and policy-name parsing, and build-version
+// reporting. Keeping them here stops each cmd/ main from growing its own
+// slightly different copy.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"abacus/internal/dnn"
+	"abacus/internal/serving"
+)
+
+// Failer returns the standard error exit for a binary: print "tool: err" to
+// stderr and exit 1.
+func Failer(tool string) func(error) {
+	return func(err error) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+// ParseModels parses a comma-separated model-name list ("Res152, IncepV3")
+// into model IDs. Names are trimmed; an empty list is an error.
+func ParseModels(list string) ([]dnn.ModelID, error) {
+	var models []dnn.ModelID
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		m, err := dnn.ModelIDByName(name)
+		if err != nil {
+			return nil, err
+		}
+		models = append(models, m)
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("empty model list %q", list)
+	}
+	return models, nil
+}
+
+// ParsePolicy resolves a scheduler name (case-insensitive) to its policy.
+func ParsePolicy(name string) (serving.PolicyKind, error) {
+	switch strings.ToUpper(strings.TrimSpace(name)) {
+	case "FCFS":
+		return serving.PolicyFCFS, nil
+	case "SJF":
+		return serving.PolicySJF, nil
+	case "EDF":
+		return serving.PolicyEDF, nil
+	case "ABACUS":
+		return serving.PolicyAbacus, nil
+	case "MPS":
+		return serving.PolicyMPS, nil
+	case "KERNELLEVEL", "KERNEL-LEVEL":
+		return serving.PolicyKernelLevel, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (FCFS, SJF, EDF, Abacus, MPS, KernelLevel)", name)
+	}
+}
+
+// Version reports the binary's module version and toolchain, read from the
+// build info stamped into the executable.
+func Version() string {
+	version := "(devel)"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return fmt.Sprintf("abacus %s %s", version, runtime.Version())
+}

@@ -125,12 +125,19 @@ func (r *Runtime) Services() []*sched.Service { return r.services }
 // to arrive at virtual time `at`; its input transfer is charged before the
 // controller sees it. Submit panics on an unknown service index.
 func (r *Runtime) Submit(service int, in dnn.Input, at sim.Time) *sched.Query {
+	return r.SubmitSLO(service, in, at, 0)
+}
+
+// SubmitSLO is Submit with a per-query deadline override: when sloMS > 0 the
+// query's deadline is at+sloMS instead of the service-wide QoS target. The
+// online gateway uses it to honor request-supplied deadlines.
+func (r *Runtime) SubmitSLO(service int, in dnn.Input, at sim.Time, sloMS float64) *sched.Query {
 	if service < 0 || service >= len(r.services) {
 		panic(fmt.Sprintf("core: service %d out of range", service))
 	}
 	svc := r.services[service]
 	r.nextID++
-	q := &sched.Query{ID: r.nextID, Service: svc, Input: in, Arrival: at}
+	q := &sched.Query{ID: r.nextID, Service: svc, Input: in, Arrival: at, SLO: sloMS}
 	transfer := dnn.TransferTime(dnn.Get(svc.Model), in, r.dev.Profile())
 	r.eng.ScheduleAt(at+transfer, func() { r.ctrl.Enqueue(q) })
 	return q

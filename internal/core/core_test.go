@@ -112,3 +112,23 @@ func TestNewRejectsDuplicateModels(t *testing.T) {
 		t.Error("duplicate model deployment accepted")
 	}
 }
+
+func TestSubmitSLOOverridesDeadline(t *testing.T) {
+	rt, err := New(Config{Models: []dnn.ModelID{dnn.ResNet50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcQoS := rt.Services()[0].QoS
+	q := rt.SubmitSLO(0, dnn.Input{Batch: 4}, 10, 3*svcQoS)
+	if got, want := q.Deadline(), 10+3*svcQoS; got != want {
+		t.Errorf("SLO deadline = %v, want %v", got, want)
+	}
+	plain := rt.Submit(0, dnn.Input{Batch: 4}, 10)
+	if got, want := plain.Deadline(), 10+svcQoS; got != want {
+		t.Errorf("default deadline = %v, want %v", got, want)
+	}
+	rt.Drain()
+	if q.Dropped || plain.Dropped {
+		t.Error("idle-device queries dropped")
+	}
+}

@@ -26,6 +26,10 @@ type Query struct {
 	Service *Service
 	Input   dnn.Input
 	Arrival sim.Time // submission time; queuing, transfer, and execution all count against QoS
+	// SLO, when positive, overrides the service QoS target for this query
+	// alone (the online gateway's per-request deadline). Zero keeps the
+	// service-wide target.
+	SLO float64
 
 	// NextOp is the first unexecuted operator (committed progress).
 	NextOp int
@@ -44,8 +48,14 @@ type Query struct {
 // query into several segments, §6.1).
 func (q *Query) Segments() int { return q.segments }
 
-// Deadline returns the absolute QoS deadline.
-func (q *Query) Deadline() sim.Time { return q.Arrival + q.Service.QoS }
+// Deadline returns the absolute QoS deadline: Arrival plus the per-query SLO
+// override when set, the service-wide QoS target otherwise.
+func (q *Query) Deadline() sim.Time {
+	if q.SLO > 0 {
+		return q.Arrival + q.SLO
+	}
+	return q.Arrival + q.Service.QoS
+}
 
 // Latency returns the end-to-end latency; valid once finished.
 func (q *Query) Latency() float64 { return q.Finish - q.Arrival }

@@ -628,3 +628,19 @@ func TestGroupStatsEmpty(t *testing.T) {
 		t.Errorf("fresh controller GroupStats = (%v, %v)", m, o)
 	}
 }
+
+func TestQuerySLOOverride(t *testing.T) {
+	svc := &Service{ID: 0, Model: dnn.ResNet50, QoS: 40}
+	q := &Query{ID: 1, Service: svc, Input: dnn.Input{Batch: 4}, Arrival: 100}
+	if got := q.Deadline(); got != 140 {
+		t.Errorf("default deadline = %v, want 140", got)
+	}
+	q.SLO = 15
+	if got := q.Deadline(); got != 115 {
+		t.Errorf("SLO deadline = %v, want 115", got)
+	}
+	q.Finish = 120
+	if !q.Violated() {
+		t.Error("finish past the SLO deadline not flagged as violation")
+	}
+}

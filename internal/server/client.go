@@ -1,0 +1,123 @@
+// Client is the gateway's Go client: the load generator and the end-to-end
+// tests speak to the HTTP front end through it.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one gateway.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the gateway at base (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses a dedicated client with no
+// timeout — inference calls legitimately wait out their paced latency.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Infer submits one query and waits for its outcome. The returned response
+// is non-nil whenever the gateway answered, whatever the status code;
+// status conveys the HTTP code (200 completed, 429 rejected, 503 draining,
+// 504 dropped).
+func (c *Client) Infer(ctx context.Context, req InferRequest) (*InferResponse, int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer hres.Body.Close()
+	var out InferResponse
+	if err := json.NewDecoder(hres.Body).Decode(&out); err != nil {
+		return nil, hres.StatusCode, fmt.Errorf("decoding /v1/infer response: %w", err)
+	}
+	return &out, hres.StatusCode, nil
+}
+
+// Stats fetches /statz.
+func (c *Client) Stats(ctx context.Context) (*Statz, error) {
+	var out Statz
+	if err := c.getJSON(ctx, "/statz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes /healthz; a non-200 answer is an error.
+func (c *Client) Health(ctx context.Context) error {
+	var out map[string]any
+	return c.getJSON(ctx, "/healthz", &out)
+}
+
+// Metrics fetches the raw /metrics exposition.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", hres.Status)
+	}
+	return io.ReadAll(hres.Body)
+}
+
+// WaitReady polls /healthz until the gateway answers or the timeout lapses.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.Health(ctx)
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway not ready after %v: %w", timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.hc.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", path, hres.Status)
+	}
+	return json.NewDecoder(hres.Body).Decode(v)
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"abacus/internal/dnn"
+	"abacus/internal/trace"
+)
+
+// startGateway brings up a gateway on a loopback port and returns its client.
+func startGateway(t *testing.T, cfg Config) *Client {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = s.ServeListener(ln) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	c := NewClient("http://"+ln.Addr().String(), nil)
+	if err := c.WaitReady(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestEndToEndFast replays a seeded Poisson trace through the live gateway at
+// high speedup and checks what doesn't need real-time pacing: near-zero
+// deadline violations among admitted queries under the oracle predictor, and
+// a /metrics body that parses as text exposition 0.0.4. At this speedup the
+// simulator lags the compressed wall-clock schedule, so arrivals bunch into
+// micro-bursts; an occasional group member with slack headroom can then land
+// past its deadline (the fig15 near-zero shape), hence the small tolerance —
+// the faithfully paced realtime test below asserts strict zero.
+func TestEndToEndFast(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	const speedup = 200
+	arrivals := trace.NewGenerator(models, 7).Poisson(40, 4000)
+
+	c := startGateway(t, Config{Models: models, Speedup: speedup})
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Client:   c,
+		Models:   models,
+		Arrivals: arrivals,
+		Speedup:  speedup,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := res.Total
+	if tot.Errors > 0 || tot.Unavailable > 0 {
+		t.Fatalf("transport trouble: %+v", tot)
+	}
+	if tot.Completed < len(arrivals)/2 {
+		t.Fatalf("only %d/%d completed at a sub-saturation rate", tot.Completed, len(arrivals))
+	}
+	if limit := 1 + tot.Completed/50; tot.Violated > limit {
+		t.Errorf("%d/%d admitted queries violated their deadline with the oracle predictor (limit %d)",
+			tot.Violated, tot.Completed, limit)
+	}
+	if tot.P99MS <= 0 || tot.P50MS > tot.P99MS {
+		t.Errorf("implausible percentiles p50=%v p99=%v", tot.P50MS, tot.P99MS)
+	}
+
+	body, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Errorf("metrics exposition invalid: %v", err)
+	}
+}
+
+// TestEndToEndRealtimeMatchesOffline is the full acceptance run: the gateway
+// paced at speedup=1 serves the same seeded workload the offline simulator
+// predicts, and the delivered p99 must land within 15% of the offline value —
+// the paper's predictability claim, measured over a real socket. Skipped in
+// -short mode (it runs ~4s of wall-clock traffic).
+func TestEndToEndRealtimeMatchesOffline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("realtime pacing run skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation makes simulation slower than real time, breaking speedup=1 pacing")
+	}
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	// 30 QPS is well below the pair's measured Abacus capacity (~82 r/s in
+	// the fig17 sweep) and below the admission controller's sequential bound
+	// (~77 QPS), so the comparison runs in the stable regime. The relaxed
+	// QoS factor keeps the conservative admission bound from clipping
+	// Poisson bursts: live and offline then serve the identical query set.
+	arrivals := trace.NewGenerator(models, 11).Poisson(30, 4000)
+
+	c := startGateway(t, Config{Models: models, Speedup: 1, QoSFactor: 6})
+	res, err := RunLoad(context.Background(), LoadConfig{
+		Client:   c,
+		Models:   models,
+		Arrivals: arrivals,
+		Speedup:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := res.Total
+	if tot.Errors > 0 {
+		t.Fatalf("transport errors: %+v", tot)
+	}
+	if tot.Violated != 0 {
+		t.Errorf("%d live deadline violations with the oracle predictor", tot.Violated)
+	}
+	if tot.Completed < len(arrivals)*9/10 {
+		t.Fatalf("only %d/%d completed live at a sub-saturation rate", tot.Completed, len(arrivals))
+	}
+
+	// Replay at the gateway's own deadlines, discovered over the wire the
+	// way the loadgen binary does it.
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qos := make([]float64, len(st.Services))
+	for i, s := range st.Services {
+		qos[i] = s.QoSMS
+	}
+	offline := OfflineBaseline(models, qos, arrivals, nil)
+	offP99 := offline.TailLatency(-1, 99)
+	if offP99 <= 0 {
+		t.Fatalf("offline baseline produced p99 %v", offP99)
+	}
+	rel := math.Abs(tot.P99MS-offP99) / offP99
+	t.Logf("live p99 %.2fms vs offline p99 %.2fms (Δ %.1f%%), completed %d/%d",
+		tot.P99MS, offP99, rel*100, tot.Completed, len(arrivals))
+	if rel > 0.15 {
+		t.Errorf("live p99 %.2fms deviates %.1f%% from offline %.2fms (limit 15%%)",
+			tot.P99MS, rel*100, offP99)
+	}
+}

@@ -1,0 +1,196 @@
+// Prometheus text exposition (version 0.0.4) for the gateway, rendered by
+// hand from the same snapshot that backs /statz — no client library, just
+// the format: # HELP / # TYPE comments followed by name{labels} value
+// samples.
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func renderMetrics(st Statz) []byte {
+	var b bytes.Buffer
+	emit := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	head := func(name, typ, help string) {
+		emit("# HELP %s %s\n", name, help)
+		emit("# TYPE %s %s\n", name, typ)
+	}
+
+	head("abacus_requests_total", "counter", "Requests by admission outcome.")
+	for _, s := range st.Services {
+		for _, o := range []struct {
+			outcome string
+			v       int64
+		}{
+			{"accepted", s.Accepted},
+			{"rejected_deadline", s.RejectedDeadline},
+			{"rejected_queue", s.RejectedQueue},
+			{"rejected_draining", s.RejectedDraining},
+		} {
+			emit("abacus_requests_total{service=%q,outcome=%q} %d\n", s.Model, o.outcome, o.v)
+		}
+	}
+
+	head("abacus_queries_total", "counter", "Admitted queries by final result.")
+	for _, s := range st.Services {
+		good := s.Completed - (s.Violated - s.Dropped)
+		emit("abacus_queries_total{service=%q,result=\"ok\"} %d\n", s.Model, good)
+		emit("abacus_queries_total{service=%q,result=\"violated\"} %d\n", s.Model, s.Violated-s.Dropped)
+		emit("abacus_queries_total{service=%q,result=\"dropped\"} %d\n", s.Model, s.Dropped)
+	}
+
+	head("abacus_queue_depth", "gauge", "Admitted-but-unfinished queries per service.")
+	for _, s := range st.Services {
+		emit("abacus_queue_depth{service=%q} %d\n", s.Model, s.QueueDepth)
+	}
+
+	head("abacus_latency_ms", "summary", "Completed-query latency over the recent window, virtual ms.")
+	for _, s := range st.Services {
+		if s.Completed > 0 {
+			emit("abacus_latency_ms{service=%q,quantile=\"0.5\"} %s\n", s.Model, promFloat(s.P50MS))
+			emit("abacus_latency_ms{service=%q,quantile=\"0.99\"} %s\n", s.Model, promFloat(s.P99MS))
+		}
+		emit("abacus_latency_ms_sum{service=%q} %s\n", s.Model, promFloat(s.MeanMS*float64(s.Completed)))
+		emit("abacus_latency_ms_count{service=%q} %d\n", s.Model, s.Completed)
+	}
+
+	head("abacus_goodput_qps", "gauge", "Queries completed within QoS per virtual second.")
+	for _, s := range st.Services {
+		emit("abacus_goodput_qps{service=%q} %s\n", s.Model, promFloat(s.GoodputQPS))
+	}
+
+	head("abacus_qos_target_ms", "gauge", "Per-service QoS target, virtual ms.")
+	for _, s := range st.Services {
+		emit("abacus_qos_target_ms{service=%q} %s\n", s.Model, promFloat(s.QoSMS))
+	}
+
+	head("abacus_backlog_predicted_ms", "gauge", "Predicted unfinished work admitted to the device, virtual ms.")
+	emit("abacus_backlog_predicted_ms %s\n", promFloat(st.BacklogPredMS))
+
+	head("abacus_virtual_time_ms", "gauge", "Gateway virtual clock, ms.")
+	emit("abacus_virtual_time_ms %s\n", promFloat(st.NowMS))
+
+	head("abacus_draining", "gauge", "1 while the gateway refuses new work.")
+	d := 0
+	if st.Draining {
+		d = 1
+	}
+	emit("abacus_draining %d\n", d)
+
+	return b.Bytes()
+}
+
+// promFloat renders a float in Prometheus sample syntax.
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)(\s+-?\d+)?$`)
+	labelRe      = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// ValidateExposition checks that body parses as Prometheus text exposition
+// format 0.0.4: well-formed HELP/TYPE comments, samples of the form
+// name{labels} value, every sample's family declared by a preceding TYPE
+// line, and finite or ±Inf/NaN float values. It returns the first offense.
+func ValidateExposition(body []byte) error {
+	typed := map[string]string{}
+	sc := bufio.NewScanner(bytes.NewReader(body))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if !metricNameRe.MatchString(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: TYPE without a type", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+				}
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if !familyDeclared(typed, name) {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE", lineNo, name)
+		}
+		if labels != "" {
+			for _, lab := range splitLabels(labels) {
+				if !labelRe.MatchString(lab) {
+					return fmt.Errorf("line %d: malformed label %q", lineNo, lab)
+				}
+			}
+		}
+		switch value {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad value %q", lineNo, value)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// familyDeclared matches a sample name against declared families, allowing
+// the summary/histogram suffixes.
+func familyDeclared(typed map[string]string, name string) bool {
+	if _, ok := typed[name]; ok {
+		return true
+	}
+	for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := typed[base]; t == "summary" || t == "histogram" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,511 @@
+// Package server is the online serving gateway: an HTTP front end over the
+// Abacus runtime driven in wall-clock time by internal/realtime. Requests
+// arrive on POST /v1/infer, pass Clockwork-style predictor-driven admission
+// control (reject now if the predicted completion misses the deadline), and
+// wait for their query to complete on the paced virtual clock. The gateway
+// also exposes /healthz, /statz (JSON per-service outcomes), and /metrics
+// (Prometheus text exposition), and drains gracefully: in-flight queries are
+// answered before the server stops admitting work for good.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abacus/internal/core"
+	"abacus/internal/dnn"
+	"abacus/internal/predictor"
+	"abacus/internal/realtime"
+	"abacus/internal/sched"
+	"abacus/internal/stats"
+)
+
+// Config assembles a gateway.
+type Config struct {
+	// Models are the co-located services (1..predictor.MaxCoLocated).
+	Models []dnn.ModelID
+	// QoSFactor scales per-service QoS over max-input solo latency
+	// (default 2, the paper's setting).
+	QoSFactor float64
+	// Speedup is the wall-clock pacing factor (virtual ms per wall ms;
+	// default 1 = real time; realtime.Unpaced for batch mode).
+	Speedup float64
+	// QueueCap bounds admitted-but-unfinished queries per service
+	// (default 64); beyond it the gateway sheds load with 429.
+	QueueCap int
+	// Model is the duration model for both the Abacus controller and the
+	// admission predictor; nil selects the exact oracle.
+	Model predictor.LatencyModel
+	// Sched carries controller knobs; zero value = sched.DefaultConfig.
+	Sched sched.Config
+	// SyncCost is the per-group synchronization cost (default 0.02 ms).
+	SyncCost float64
+	// DrainTimeout bounds Shutdown's graceful drain (default 10s).
+	DrainTimeout time.Duration
+}
+
+// Server is the gateway. Construct with New, then Start before serving its
+// Handler; Drain (or Shutdown) ends its life cycle.
+type Server struct {
+	cfg     Config
+	rt      *core.Runtime
+	bridge  *realtime.Bridge
+	mux     *http.ServeMux
+	admit   *admitter                 // loop-goroutine state
+	pending map[*sched.Query]*pending // loop-goroutine state
+	byName  map[string]int            // model name → service index
+	httpSrv atomic.Pointer[http.Server]
+
+	draining atomic.Bool
+
+	mu  sync.Mutex
+	svc []*svcStats
+}
+
+// pending is one admitted query awaiting completion: done closes after the
+// sink's final writes to q, so the handler may read q afterwards.
+type pending struct {
+	q      *sched.Query
+	predMS float64 // admission-time predicted completion latency
+	workMS float64 // backlog unit released when the query finishes
+	done   chan struct{}
+}
+
+// svcStats accumulates one service's outcomes (guarded by Server.mu).
+type svcStats struct {
+	accepted         int64
+	rejectedDeadline int64
+	rejectedQueue    int64
+	rejectedDraining int64
+	completed        int64
+	dropped          int64
+	violated         int64
+	good             int64
+	latSum           float64
+	lats             latWindow
+}
+
+// latWindow keeps the most recent completed-query latencies for percentile
+// reporting without unbounded growth.
+type latWindow struct {
+	buf []float64
+	n   int
+}
+
+const latWindowSize = 8192
+
+func (w *latWindow) add(v float64) {
+	if len(w.buf) < latWindowSize {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.n%latWindowSize] = v
+	}
+	w.n++
+}
+
+func (w *latWindow) snapshot() []float64 {
+	out := make([]float64, len(w.buf))
+	copy(out, w.buf)
+	return out
+}
+
+// New validates the configuration and builds the gateway (not yet running).
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, fmt.Errorf("server: no models configured")
+	}
+	if len(cfg.Models) > predictor.MaxCoLocated {
+		return nil, fmt.Errorf("server: %d models exceed the supported co-location degree %d",
+			len(cfg.Models), predictor.MaxCoLocated)
+	}
+	if cfg.Speedup == 0 {
+		cfg.Speedup = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	s := &Server{
+		cfg:     cfg,
+		pending: make(map[*sched.Query]*pending),
+		byName:  make(map[string]int),
+	}
+	rt, err := core.New(core.Config{
+		Models:    cfg.Models,
+		QoSFactor: cfg.QoSFactor,
+		Model:     cfg.Model,
+		Sched:     cfg.Sched,
+		SyncCost:  cfg.SyncCost,
+		OnResult:  s.onResult,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.rt = rt
+	s.bridge = realtime.New(rt.Engine(), cfg.Speedup)
+	model := cfg.Model
+	if model == nil {
+		model = predictor.Oracle{Profile: rt.Device().Profile()}
+	}
+	syncCost := cfg.SyncCost
+	if syncCost == 0 {
+		syncCost = 0.02
+	}
+	s.admit = newAdmitter(model, rt.Device().Profile(), rt.Services(), cfg.QueueCap, syncCost)
+	for i, m := range cfg.Models {
+		s.byName[m.String()] = i
+		s.svc = append(s.svc, &svcStats{})
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/statz", s.handleStatz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Runtime returns the underlying Abacus runtime (tests and diagnostics).
+func (s *Server) Runtime() *core.Runtime { return s.rt }
+
+// Handler returns the gateway's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start launches the wall-clock bridge. Call once, before serving traffic.
+func (s *Server) Start() { s.bridge.Start() }
+
+// Draining reports whether the gateway has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain stops admitting new queries (they get 503), fast-forwards the
+// virtual clock so every in-flight query completes and is answered, and
+// stops the bridge. It is idempotent and safe from any goroutine; the HTTP
+// listener should be shut down after Drain returns so responses still reach
+// their callers.
+func (s *Server) Drain() {
+	s.draining.Store(true)
+	// Flush completes all admitted queries immediately in virtual time; the
+	// sinks close their done channels, unblocking every waiting handler.
+	// ErrStopped just means a previous Drain already won.
+	_ = s.bridge.Flush()
+	s.bridge.Stop()
+}
+
+// ListenAndServe serves the gateway on addr until Shutdown (or a listener
+// error). It starts the bridge itself.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ln)
+}
+
+// ServeListener serves the gateway on an existing listener (tests bind
+// loopback port 0 and read the address back).
+func (s *Server) ServeListener(ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpSrv.Store(srv)
+	s.Start()
+	err := srv.Serve(ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Shutdown gracefully drains and closes the listener: in-flight queries
+// complete and are answered before the HTTP server exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	if srv := s.httpSrv.Load(); srv != nil {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.DrainTimeout)
+			defer cancel()
+		}
+		return srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// onResult is the runtime sink; it runs on the bridge loop goroutine.
+func (s *Server) onResult(q *sched.Query) {
+	p, ok := s.pending[q]
+	if !ok {
+		return
+	}
+	delete(s.pending, q)
+	s.admit.finish(q.Service.ID, p.workMS)
+
+	s.mu.Lock()
+	st := s.svc[q.Service.ID]
+	if q.Dropped {
+		st.dropped++
+		st.violated++
+	} else {
+		st.completed++
+		lat := q.Latency()
+		st.latSum += lat
+		st.lats.add(lat)
+		if q.Violated() {
+			st.violated++
+		} else {
+			st.good++
+		}
+	}
+	s.mu.Unlock()
+
+	close(p.done)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleInfer admits, submits, and answers one query.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, InferResponse{Error: "POST required"})
+		return
+	}
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, InferResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	svcIdx, in, err := s.validate(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, InferResponse{
+			Model: req.Model, Batch: req.Batch, SeqLen: req.SeqLen, Error: err.Error(),
+		})
+		return
+	}
+	resp := InferResponse{Model: req.Model, Batch: req.Batch, SeqLen: req.SeqLen}
+	if s.draining.Load() {
+		s.countReject(svcIdx, reasonDraining)
+		resp.Reason = reasonDraining
+		resp.Error = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+
+	var d decision
+	var pend *pending
+	err = s.bridge.Do(func() {
+		if s.draining.Load() {
+			d = decision{reason: reasonDraining}
+			return
+		}
+		now := s.rt.Engine().Now()
+		d = s.admit.decide(now, svcIdx, in, req.DeadlineMS)
+		if !d.ok {
+			return
+		}
+		q := s.rt.SubmitSLO(svcIdx, in, now, req.DeadlineMS)
+		pend = &pending{q: q, predMS: d.predMS, workMS: d.workMS, done: make(chan struct{})}
+		s.pending[q] = pend
+		s.admit.admitted(svcIdx, d.workMS)
+	})
+	if err != nil || d.reason == reasonDraining {
+		s.countReject(svcIdx, reasonDraining)
+		resp.Reason = reasonDraining
+		resp.Error = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	if !d.ok {
+		s.countReject(svcIdx, d.reason)
+		resp.Reason = d.reason
+		resp.PredictedMS = d.predMS
+		resp.RetryAfterMS = d.retryMS
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(d.retryMS)))
+		writeJSON(w, http.StatusTooManyRequests, resp)
+		return
+	}
+
+	s.mu.Lock()
+	s.svc[svcIdx].accepted++
+	s.mu.Unlock()
+
+	select {
+	case <-pend.done:
+	case <-r.Context().Done():
+		// Caller went away; the query still completes and is accounted.
+		return
+	}
+	q := pend.q
+	resp.Accepted = true
+	resp.ArrivalMS = q.Arrival
+	resp.FinishMS = q.Finish
+	resp.DeadlineMS = q.Deadline() - q.Arrival
+	resp.PredictedMS = pend.predMS
+	if q.Dropped {
+		resp.Dropped = true
+		resp.Reason = "dropped"
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	}
+	resp.LatencyMS = q.Latency()
+	resp.Violated = q.Violated()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validate resolves the request onto a deployed service and checks the
+// input against the model's served envelope (paper Table 1).
+func (s *Server) validate(req *InferRequest) (int, dnn.Input, error) {
+	idx, ok := s.byName[req.Model]
+	if !ok {
+		return 0, dnn.Input{}, fmt.Errorf("model %q not deployed", req.Model)
+	}
+	m := dnn.Get(s.cfg.Models[idx])
+	if req.Batch < m.MinBatch || req.Batch > m.MaxBatch {
+		return 0, dnn.Input{}, fmt.Errorf("batch %d outside served range [%d, %d]",
+			req.Batch, m.MinBatch, m.MaxBatch)
+	}
+	in := dnn.Input{Batch: req.Batch}
+	if m.IsSequence() {
+		ok := false
+		for _, sl := range m.SeqLens {
+			if req.SeqLen == sl {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return 0, dnn.Input{}, fmt.Errorf("seqlen %d not served (allowed %v)", req.SeqLen, m.SeqLens)
+		}
+		in.SeqLen = req.SeqLen
+	} else if req.SeqLen != 0 {
+		return 0, dnn.Input{}, fmt.Errorf("model %q takes no sequence length", req.Model)
+	}
+	if req.DeadlineMS < 0 {
+		return 0, dnn.Input{}, fmt.Errorf("negative deadline %v", req.DeadlineMS)
+	}
+	return idx, in, nil
+}
+
+func (s *Server) countReject(svc int, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.svc[svc]
+	switch reason {
+	case reasonDeadline:
+		st.rejectedDeadline++
+	case reasonQueueFull:
+		st.rejectedQueue++
+	default:
+		st.rejectedDraining++
+	}
+}
+
+// retryAfterSeconds converts a virtual-ms backoff hint into wall seconds.
+func (s *Server) retryAfterSeconds(retryMS float64) int {
+	if s.bridge.Unpaced() {
+		return 1
+	}
+	sec := int(math.Ceil(retryMS / s.cfg.Speedup / 1000))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.draining.Load()})
+}
+
+// Statz is the /statz payload.
+type Statz struct {
+	NowMS         float64        `json:"now_ms"` // virtual clock
+	Speedup       float64        `json:"speedup"`
+	Draining      bool           `json:"draining"`
+	BacklogPredMS float64        `json:"backlog_pred_ms"`
+	Services      []ServiceStatz `json:"services"`
+}
+
+// ServiceStatz is one service's /statz entry.
+type ServiceStatz struct {
+	Service          int     `json:"service"`
+	Model            string  `json:"model"`
+	QoSMS            float64 `json:"qos_ms"`
+	Accepted         int64   `json:"accepted"`
+	RejectedDeadline int64   `json:"rejected_deadline"`
+	RejectedQueue    int64   `json:"rejected_queue"`
+	RejectedDraining int64   `json:"rejected_draining"`
+	Completed        int64   `json:"completed"`
+	Dropped          int64   `json:"dropped"`
+	Violated         int64   `json:"violated"`
+	QueueDepth       int     `json:"queue_depth"`
+	P50MS            float64 `json:"p50_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	MeanMS           float64 `json:"mean_ms"`
+	GoodputQPS       float64 `json:"goodput_qps"` // virtual-time basis
+}
+
+// statz snapshots the gateway state. Queue depths and predicted backlog come
+// from the loop goroutine when the bridge still runs, zero afterwards.
+func (s *Server) statz() Statz {
+	depths := make([]int, len(s.svc))
+	backlog := 0.0
+	_ = s.bridge.Do(func() {
+		copy(depths, s.admit.outstanding)
+		backlog = s.admit.backlogMS
+	})
+	now := s.bridge.Now()
+
+	out := Statz{
+		NowMS:         now,
+		Speedup:       s.cfg.Speedup,
+		Draining:      s.draining.Load(),
+		BacklogPredMS: backlog,
+	}
+	services := s.rt.Services()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, st := range s.svc {
+		entry := ServiceStatz{
+			Service:          i,
+			Model:            s.cfg.Models[i].String(),
+			QoSMS:            services[i].QoS,
+			Accepted:         st.accepted,
+			RejectedDeadline: st.rejectedDeadline,
+			RejectedQueue:    st.rejectedQueue,
+			RejectedDraining: st.rejectedDraining,
+			Completed:        st.completed,
+			Dropped:          st.dropped,
+			Violated:         st.violated,
+			QueueDepth:       depths[i],
+		}
+		if lats := st.lats.snapshot(); len(lats) > 0 {
+			ps := stats.Percentiles(lats, 50, 99)
+			entry.P50MS, entry.P99MS = ps[0], ps[1]
+			entry.MeanMS = st.latSum / float64(st.completed)
+		}
+		if now > 0 {
+			entry.GoodputQPS = float64(st.good) / (now / 1000)
+		}
+		out.Services = append(out.Services, entry)
+	}
+	return out
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.statz())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(renderMetrics(s.statz()))
+}

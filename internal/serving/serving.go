@@ -303,6 +303,57 @@ func (r *Result) Goodput() float64 {
 	return float64(good) / (r.DurationMS / 1000)
 }
 
+// ServiceSummary aggregates one service's outcomes within a Result — the
+// per-service shape shared by the online gateway's /statz endpoint and the
+// load generator's offline comparison.
+type ServiceSummary struct {
+	Service   int
+	Model     dnn.ModelID
+	QoS       float64 // target, ms
+	Queries   int
+	Completed int
+	Dropped   int
+	Violated  int     // dropped or finished late (Figure 15 accounting)
+	P50       float64 // over completed queries, ms
+	P99       float64
+	Goodput   float64 // queries completed within QoS per second
+}
+
+// PerService returns one summary per deployed service, in service order.
+func (r *Result) PerService() []ServiceSummary {
+	out := make([]ServiceSummary, len(r.Services))
+	for i, svc := range r.Services {
+		out[i] = ServiceSummary{Service: svc.ID, Model: svc.Model, QoS: svc.QoS}
+	}
+	good := make([]int, len(r.Services))
+	for _, rec := range r.Records {
+		s := &out[rec.Service]
+		s.Queries++
+		if rec.Dropped {
+			s.Dropped++
+		} else {
+			s.Completed++
+			if !rec.Violated {
+				good[rec.Service]++
+			}
+		}
+		if rec.Violated {
+			s.Violated++
+		}
+	}
+	for i := range out {
+		lats := r.Latencies(out[i].Service)
+		if len(lats) > 0 {
+			ps := stats.Percentiles(lats, 50, 99)
+			out[i].P50, out[i].P99 = ps[0], ps[1]
+		}
+		if r.DurationMS > 0 {
+			out[i].Goodput = float64(good[i]) / (r.DurationMS / 1000)
+		}
+	}
+	return out
+}
+
 // Completed returns the number of non-dropped queries.
 func (r *Result) Completed() int {
 	n := 0

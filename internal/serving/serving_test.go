@@ -347,3 +347,41 @@ func TestPeakQPSBracketFloor(t *testing.T) {
 		t.Errorf("expected the floor to violate, got %.3f", res.ViolationRatio())
 	}
 }
+
+func TestPerServiceSummaries(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet50, dnn.InceptionV3}
+	res := runPair(t, PolicyAbacus, models, 60, 3000, 7)
+	sums := res.PerService()
+	if len(sums) != len(models) {
+		t.Fatalf("got %d summaries, want %d", len(sums), len(models))
+	}
+	totalQ, totalDone := 0, 0
+	for i, s := range sums {
+		if s.Service != i || s.Model != models[i] {
+			t.Errorf("summary %d identifies (%d, %v)", i, s.Service, s.Model)
+		}
+		if s.QoS <= 0 {
+			t.Errorf("service %d QoS = %v", i, s.QoS)
+		}
+		if s.Completed+s.Dropped != s.Queries {
+			t.Errorf("service %d: completed %d + dropped %d != queries %d",
+				i, s.Completed, s.Dropped, s.Queries)
+		}
+		if s.Completed > 0 {
+			if s.P50 <= 0 || s.P99 < s.P50 {
+				t.Errorf("service %d percentiles p50=%v p99=%v", i, s.P50, s.P99)
+			}
+			if got, want := s.P99, res.TailLatency(i, 99); got != want {
+				t.Errorf("service %d p99 = %v, want %v", i, got, want)
+			}
+		}
+		totalQ += s.Queries
+		totalDone += s.Completed
+	}
+	if totalQ != len(res.Records) {
+		t.Errorf("summaries cover %d queries, records hold %d", totalQ, len(res.Records))
+	}
+	if totalDone != res.Completed() {
+		t.Errorf("summaries count %d completed, result reports %d", totalDone, res.Completed())
+	}
+}

@@ -74,6 +74,16 @@ func (e *Engine) Now() Time { return e.now }
 // Pending reports the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.pending) }
 
+// NextAt returns the timestamp of the earliest pending event, or false when
+// the queue is empty. Real-time drivers use it to decide how long to sleep
+// before the next event is due.
+func (e *Engine) NextAt() (Time, bool) {
+	if len(e.pending) == 0 {
+		return 0, false
+	}
+	return e.pending[0].at, true
+}
+
 // Schedule registers fn to run after delay milliseconds of virtual time and
 // returns a handle that can be passed to Cancel. A negative delay panics:
 // scheduling into the past would break causality.

@@ -297,3 +297,19 @@ func TestDeterminismProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt reported an event on an empty queue")
+	}
+	e.Schedule(7, func() {})
+	e.Schedule(3, func() {})
+	if at, ok := e.NextAt(); !ok || at != 3 {
+		t.Errorf("NextAt = (%v, %v), want (3, true)", at, ok)
+	}
+	e.Run()
+	if _, ok := e.NextAt(); ok {
+		t.Error("NextAt reported an event after the queue drained")
+	}
+}

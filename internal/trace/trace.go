@@ -79,6 +79,25 @@ func (g *Generator) exp(ratePerMS float64) float64 {
 	return g.rng.ExpFloat64() / ratePerMS
 }
 
+// Stream returns a lazy Poisson arrival source at totalQPS aggregated over
+// all services: each call yields the next arrival, with times growing
+// without bound. The draw order matches Poisson, so for any duration the
+// first arrivals of a Stream with the same seed are identical to the
+// Poisson slice — the online load generator uses this to replay exactly the
+// workload the offline simulator predicts.
+func (g *Generator) Stream(totalQPS float64) func() Arrival {
+	if totalQPS <= 0 {
+		panic("trace: non-positive rate")
+	}
+	ratePerMS := totalQPS / 1000
+	t := 0.0
+	return func() Arrival {
+		t += g.exp(ratePerMS)
+		svc := g.rng.Intn(len(g.models))
+		return Arrival{Time: t, Service: svc, Input: g.randomInput(svc)}
+	}
+}
+
 // MAFConfig shapes the synthetic Azure-Functions-like trace.
 type MAFConfig struct {
 	// BaseQPS is the mean offered load.

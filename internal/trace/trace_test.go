@@ -240,3 +240,17 @@ func TestReadCSVSortsByTime(t *testing.T) {
 		t.Errorf("not sorted: %+v", got)
 	}
 }
+
+func TestStreamMatchesPoissonPrefix(t *testing.T) {
+	batch := NewGenerator(models(), 42).Poisson(80, 5_000)
+	next := NewGenerator(models(), 42).Stream(80)
+	for i, want := range batch {
+		got := next()
+		if got != want {
+			t.Fatalf("stream arrival %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if a := next(); a.Time < 5_000 {
+		t.Errorf("arrival after the batch prefix at %v, want >= 5000", a.Time)
+	}
+}
