@@ -1,10 +1,14 @@
 # Developer entry points. `make ci` is the full gate: build, vet, format
 # check, and the test suite under the race detector (the concurrent sweep
-# harness in internal/runner makes -race load-bearing).
+# harness in internal/runner makes -race load-bearing). CI layers the
+# targets into lanes: the fast PR lane runs build+vet+fmt-check+short
+# tests, the full lane runs `make ci`, and separate lanes run lint
+# (staticcheck) and the benchmarks + chaos scenarios.
 
 GO ?= go
+STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check test test-race bench ci
+.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json chaos ci
 
 all: build
 
@@ -20,8 +24,21 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Uses a staticcheck binary from PATH when present (CI installs one);
+# otherwise falls back to `go run`, which needs network access, so lint is
+# a separate lane rather than part of `ci`.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
 test:
 	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
 
 # The experiments package alone can exceed go test's default 10-minute
 # per-package timeout under the race detector on small machines.
@@ -30,5 +47,17 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Chaos scenarios double as the gateway benchmark: deterministic QoS
+# counters plus a wall-clock figure, uploaded from CI as an artifact.
+bench-json:
+	$(GO) run ./cmd/abacus-chaos -bench -json -o BENCH_gateway.json
+
+# Run the built-in fault suite and hold the recovery scenarios to their QoS
+# floor (the throttle50 baseline intentionally fails it, so the floor is
+# asserted on the degraded run only).
+chaos:
+	$(GO) run ./cmd/abacus-chaos
+	$(GO) run ./cmd/abacus-chaos -scenario throttle50-degraded -assert-goodput 0.99
 
 ci: build vet fmt-check test-race

@@ -1,0 +1,49 @@
+package abacus
+
+import (
+	"abacus/internal/admit"
+	"abacus/internal/chaos"
+	"abacus/internal/server"
+)
+
+// Fault injection and graceful degradation (see internal/chaos and
+// internal/admit). The facade re-exports the deterministic scenario runner
+// and the client retry policy so embedders can chaos-test a deployment and
+// configure recovery without importing internal packages:
+//
+//	rep, _ := abacus.RunChaos(abacus.ChaosScenario{
+//		Name: "throttle",
+//		Script: abacus.FaultScript{Windows: []abacus.FaultWindow{
+//			{Kind: "gpu_throttle", Start: 2000, End: 6000, Magnitude: 0.5},
+//		}},
+//	})
+//	fmt.Print(rep.Text())
+type (
+	// ChaosScenario is one replayable fault-injection experiment.
+	ChaosScenario = chaos.Scenario
+	// ChaosReport is a scenario's deterministic outcome.
+	ChaosReport = chaos.Report
+	// FaultScript is an ordered set of fault windows.
+	FaultScript = chaos.Script
+	// FaultWindow is one fault active over a virtual-time interval.
+	FaultWindow = chaos.Window
+	// DegradeConfig tunes the gateway's degraded-mode controller.
+	DegradeConfig = admit.DegradeConfig
+	// RetryPolicy shapes the Go client's wall-clock retry behavior.
+	RetryPolicy = server.RetryPolicy
+	// Retrier executes gateway requests under a RetryPolicy.
+	Retrier = server.Retrier
+)
+
+// RunChaos executes one chaos scenario to completion in virtual time.
+func RunChaos(sc ChaosScenario) (*ChaosReport, error) { return chaos.Run(sc) }
+
+// ChaosScenarios returns the named built-in scenario suite.
+func ChaosScenarios() []ChaosScenario { return chaos.Scenarios() }
+
+// ParseFaultScript reads a fault script from JSON or CSV bytes.
+func ParseFaultScript(data []byte) (FaultScript, error) { return chaos.ParseScript(data) }
+
+// NewRetrier builds a retrying client wrapper; zero policy fields take
+// sensible defaults (3 attempts, 50ms base backoff, seeded jitter).
+func NewRetrier(policy RetryPolicy) *Retrier { return server.NewRetrier(policy) }

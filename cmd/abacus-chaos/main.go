@@ -1,0 +1,162 @@
+// Command abacus-chaos runs named or scripted fault-injection scenarios
+// against the full serving stack in virtual time and asserts QoS floors.
+// Reports are byte-deterministic for a given seed and script at any
+// -parallel width, so CI can diff them instead of tolerating flake.
+//
+// Usage:
+//
+//	abacus-chaos                             # run the built-in suite
+//	abacus-chaos -scenario throttle50-degraded -assert-goodput 0.99
+//	abacus-chaos -script faults.csv -models Res152,IncepV3 -qps 40
+//	abacus-chaos -bench -o BENCH_gateway.json # CI benchmark artifact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"abacus/internal/admit"
+	"abacus/internal/chaos"
+	"abacus/internal/cli"
+)
+
+var fail = cli.Failer("abacus-chaos")
+
+func main() {
+	scenarioFlag := flag.String("scenario", "", "named built-in scenario (default: the whole suite); see -list")
+	list := flag.Bool("list", false, "list built-in scenarios and exit")
+	scriptFile := flag.String("script", "", "fault script file (JSON or CSV kind,start_ms,end_ms,magnitude[,mem]) replacing the built-ins")
+	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated model names for -script runs")
+	qps := flag.Float64("qps", 30, "aggregate offered load for -script runs, queries per second")
+	durationMS := flag.Float64("duration", 10000, "arrival window for -script runs, virtual ms")
+	seed := flag.Int64("seed", 11, "seed for arrivals, fault coins, and retry jitter in -script runs")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "scenario worker-pool width (reports are identical at any width)")
+	degrade := flag.Bool("degrade", true, "enable the degraded-mode controller in -script runs")
+	retry := flag.Bool("retry", false, "give -script runs a retrying virtual client")
+	assertGoodput := flag.Float64("assert-goodput", 0, "exit 1 unless every report's goodput meets this floor")
+	jsonOut := flag.Bool("json", false, "emit reports as JSON instead of text")
+	outFile := flag.String("o", "", "also write the JSON report array to this file")
+	bench := flag.Bool("bench", false, "benchmark mode: runs the suite and includes wall_seconds in -o output")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
+	if *list {
+		for _, sc := range chaos.Scenarios() {
+			fmt.Println(sc.Name)
+		}
+		return
+	}
+
+	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *modelsFlag, *qps, *durationMS, *seed, *degrade, *retry)
+	if err != nil {
+		fail(err)
+	}
+
+	wallStart := time.Now()
+	reports, err := chaos.RunAll(scenarios, *parallel)
+	if err != nil {
+		fail(err)
+	}
+	wallSeconds := time.Since(wallStart).Seconds()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, rep := range reports {
+			fmt.Print(rep.Text())
+		}
+	}
+
+	if *outFile != "" {
+		if err := writeArtifact(*outFile, reports, *bench, wallSeconds); err != nil {
+			fail(err)
+		}
+	}
+
+	if *assertGoodput > 0 {
+		bad := false
+		for _, rep := range reports {
+			if rep.Goodput < *assertGoodput {
+				fmt.Fprintf(os.Stderr, "abacus-chaos: %s goodput %.4f below floor %.4f\n",
+					rep.Name, rep.Goodput, *assertGoodput)
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
+	}
+}
+
+// selectScenarios resolves the flag combination into the scenario list.
+func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float64, seed int64, degrade, retry bool) ([]chaos.Scenario, error) {
+	if scriptFile != "" {
+		data, err := os.ReadFile(scriptFile)
+		if err != nil {
+			return nil, err
+		}
+		script, err := chaos.ParseScript(data)
+		if err != nil {
+			return nil, err
+		}
+		models, err := cli.ParseModels(modelsFlag)
+		if err != nil {
+			return nil, err
+		}
+		sc := chaos.Scenario{
+			Name:       strings.TrimSuffix(scriptFile, ".csv"),
+			Models:     models,
+			QPS:        qps,
+			DurationMS: durationMS,
+			Seed:       seed,
+			Script:     script,
+		}
+		if !degrade {
+			sc.Degrade = admit.DegradeConfig{Disabled: true}
+		}
+		if retry {
+			sc.Retry = &chaos.RetryConfig{}
+		}
+		return []chaos.Scenario{sc}, nil
+	}
+	if name != "" {
+		sc, ok := chaos.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (try -list)", name)
+		}
+		return []chaos.Scenario{sc}, nil
+	}
+	return chaos.Scenarios(), nil
+}
+
+// benchArtifact is the BENCH_gateway.json shape CI uploads.
+type benchArtifact struct {
+	// WallSeconds is the only wall-clock field; everything under Reports is
+	// deterministic.
+	WallSeconds float64         `json:"wall_seconds,omitempty"`
+	Reports     []*chaos.Report `json:"reports"`
+}
+
+func writeArtifact(path string, reports []*chaos.Report, bench bool, wallSeconds float64) error {
+	art := benchArtifact{Reports: reports}
+	if bench {
+		art.WallSeconds = wallSeconds
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,167 @@
+package admit
+
+import (
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/sched"
+)
+
+func testAdmitter(t *testing.T, queueCap int, degrade *Degrade) (*Admitter, []*sched.Service) {
+	t.Helper()
+	profile := gpusim.A100Profile()
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	services := sched.Services(models, 2, profile)
+	model := predictor.Oracle{Profile: profile}
+	return New(model, profile, services, queueCap, 0.02, degrade), services
+}
+
+func TestDecideAdmitsWithinSLO(t *testing.T) {
+	a, svcs := testAdmitter(t, 4, nil)
+	in := dnn.Input{Batch: 8}
+	d := a.Decide(0, 0, in, 0)
+	if !d.OK {
+		t.Fatalf("empty-backlog query rejected: %+v", d)
+	}
+	if d.PredMS != d.AdjustedMS {
+		t.Errorf("healthy margin must not adjust: pred %v adj %v", d.PredMS, d.AdjustedMS)
+	}
+	if d.PredMS <= 0 || d.PredMS > svcs[0].QoS {
+		t.Errorf("pred %v outside (0, qos=%v]", d.PredMS, svcs[0].QoS)
+	}
+}
+
+func TestDecideRejectsOnBacklogAndQueueCap(t *testing.T) {
+	a, svcs := testAdmitter(t, 3, nil)
+	in := dnn.Input{Batch: 32}
+	solo := a.SoloPred(0, in)
+	// Pile up predicted work until the sequential bound exceeds QoS.
+	admitted := 0
+	for {
+		d := a.Decide(0, 0, in, 0)
+		if !d.OK {
+			switch d.Reason {
+			case ReasonDeadline:
+				if a.BacklogMS()+solo <= svcs[0].QoS {
+					t.Fatalf("deadline rejection with feasible backlog: %+v", d)
+				}
+			case ReasonQueueFull:
+				if a.Outstanding(0) < 3 {
+					t.Fatalf("queue_full below cap: outstanding %d", a.Outstanding(0))
+				}
+			default:
+				t.Fatalf("unexpected reason %q", d.Reason)
+			}
+			if d.RetryMS <= 0 {
+				t.Errorf("rejection carries no retry hint: %+v", d)
+			}
+			break
+		}
+		a.Admitted(0, d.WorkMS)
+		admitted++
+		if admitted > 100 {
+			t.Fatal("never rejected")
+		}
+	}
+	// Releasing the backlog restores admission.
+	for i := 0; i < admitted; i++ {
+		a.Finish(0, solo)
+	}
+	if d := a.Decide(0, 0, in, 0); !d.OK {
+		t.Fatalf("rejected after full release: %+v", d)
+	}
+}
+
+func TestDegradeEntersWidensAndExitsWithHysteresis(t *testing.T) {
+	g := NewDegrade(DegradeConfig{Alpha: 0.5, EnterRatio: 1.3, ExitRatio: 1.1, MinSamples: 3})
+	for i := 0; i < 3; i++ {
+		g.Observe(10, 20) // sustained 2× divergence
+	}
+	if !g.Active() {
+		t.Fatalf("not degraded after sustained 2× divergence: %+v", g.Snapshot())
+	}
+	if m := g.Margin(); m <= 1.5 {
+		t.Errorf("margin %v too narrow for 2× divergence", m)
+	}
+	// Ratios inside the hysteresis band must not exit.
+	g.Observe(10, 12)
+	st := g.Snapshot()
+	if !st.Active && st.Divergence > 1.1 {
+		t.Errorf("exited inside hysteresis band: %+v", st)
+	}
+	// Healthy observations drive it out.
+	for i := 0; i < 10; i++ {
+		g.Observe(10, 9)
+	}
+	if g.Active() {
+		t.Fatalf("still degraded after sustained recovery: %+v", g.Snapshot())
+	}
+	if n := g.Snapshot().Transitions; n != 2 {
+		t.Errorf("transitions = %d, want 2 (enter + exit)", n)
+	}
+	if m := g.Margin(); m != 1 {
+		t.Errorf("healthy margin = %v, want 1", m)
+	}
+}
+
+func TestDegradedShedReasonDistinctFromDeadline(t *testing.T) {
+	g := NewDegrade(DegradeConfig{Alpha: 1, EnterRatio: 1.2, ExitRatio: 1.05, MinSamples: 1})
+	a, svcs := testAdmitter(t, 64, g)
+	in := dnn.Input{Batch: 32}
+	solo := a.SoloPred(0, in)
+
+	// Force degraded mode with a divergence big enough that solo*margin
+	// overshoots the QoS target.
+	ratio := 1.5 * svcs[0].QoS / solo
+	g.Observe(solo, ratio*solo)
+	if !g.Active() {
+		t.Fatal("controller not degraded")
+	}
+	d := a.Decide(0, 0, in, 0)
+	if d.OK || d.Reason != ReasonDegraded {
+		t.Fatalf("want degraded_shed rejection, got %+v", d)
+	}
+	if !d.Degraded || d.AdjustedMS <= d.PredMS {
+		t.Errorf("decision not margin-widened: %+v", d)
+	}
+	if g.Snapshot().Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", g.Snapshot().Shed)
+	}
+
+	// A query that could never meet its deadline stays deadline_unmeetable
+	// even while degraded.
+	if d := a.Decide(0, 0, in, solo/2); d.Reason != ReasonDeadline {
+		t.Errorf("want deadline_unmeetable for impossible SLO, got %+v", d)
+	}
+}
+
+func TestDisabledDegradeIgnoresObservations(t *testing.T) {
+	g := NewDegrade(DegradeConfig{Disabled: true})
+	for i := 0; i < 50; i++ {
+		g.Observe(1, 100)
+	}
+	if g.Active() || g.Margin() != 1 || g.Snapshot().Transitions != 0 {
+		t.Errorf("disabled controller acted: %+v", g.Snapshot())
+	}
+}
+
+func TestDegradeConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]DegradeConfig{
+		"alpha>1":          {Alpha: 1.5},
+		"enter<=1":         {EnterRatio: 0.9},
+		"exit>enter":       {EnterRatio: 1.2, ExitRatio: 1.4},
+		"headroom<1":       {MarginHeadroom: 0.5},
+		"negative samples": {MinSamples: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewDegrade did not panic", name)
+				}
+			}()
+			NewDegrade(cfg)
+		}()
+	}
+}

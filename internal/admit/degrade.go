@@ -1,0 +1,173 @@
+// Degraded-mode controller: the recovery half of the chaos story. The
+// admission predictor assumes a healthy device and a calibrated model; when
+// either assumption breaks (thermal throttling, launch stalls, a mistrained
+// predictor), admitted queries start finishing later than predicted long
+// before they start missing deadlines. The controller watches exactly that
+// early signal — an EWMA of the observed/predicted completion-latency ratio
+// — and, when divergence is sustained, enters degraded mode: the admission
+// margin widens to the observed ratio (plus headroom), so the gateway sheds
+// the load the substrate can no longer carry while the queries it still
+// admits keep meeting their deadlines. Hysteresis (enter above one
+// threshold, exit below a lower one) keeps the mode from flapping at the
+// boundary.
+package admit
+
+import "fmt"
+
+// DegradeConfig tunes the degraded-mode controller. The zero value enables
+// the controller with the defaults below; set Disabled for a PR-2-style
+// gateway that never widens its margin.
+type DegradeConfig struct {
+	// Disabled pins the margin at 1 and ignores observations.
+	Disabled bool
+	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3): higher
+	// reacts faster, lower rides out single-query noise.
+	Alpha float64
+	// EnterRatio is the sustained observed/predicted ratio that triggers
+	// degraded mode (default 1.3).
+	EnterRatio float64
+	// ExitRatio is the ratio below which degraded mode ends (default 1.1);
+	// it must not exceed EnterRatio.
+	ExitRatio float64
+	// MinSamples is the number of completions observed before the
+	// controller may act (default 5).
+	MinSamples int
+	// MarginHeadroom multiplies the observed divergence when deriving the
+	// admission margin (default 1.15), buying slack for divergence still
+	// growing.
+	MarginHeadroom float64
+	// MaxMargin caps the admission margin (default 8) so a pathological
+	// divergence cannot shed everything forever.
+	MaxMargin float64
+}
+
+func (c DegradeConfig) withDefaults() DegradeConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.EnterRatio == 0 {
+		c.EnterRatio = 1.3
+	}
+	if c.ExitRatio == 0 {
+		c.ExitRatio = 1.1
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 5
+	}
+	if c.MarginHeadroom == 0 {
+		c.MarginHeadroom = 1.15
+	}
+	if c.MaxMargin == 0 {
+		c.MaxMargin = 8
+	}
+	return c
+}
+
+func (c DegradeConfig) validate() error {
+	switch {
+	case c.Alpha <= 0 || c.Alpha > 1:
+		return fmt.Errorf("admit: degrade alpha %v outside (0, 1]", c.Alpha)
+	case c.EnterRatio <= 1:
+		return fmt.Errorf("admit: degrade enter ratio %v must exceed 1", c.EnterRatio)
+	case c.ExitRatio <= 0 || c.ExitRatio > c.EnterRatio:
+		return fmt.Errorf("admit: degrade exit ratio %v outside (0, enter=%v]", c.ExitRatio, c.EnterRatio)
+	case c.MinSamples < 1:
+		return fmt.Errorf("admit: degrade min samples %d must be >= 1", c.MinSamples)
+	case c.MarginHeadroom < 1:
+		return fmt.Errorf("admit: degrade margin headroom %v must be >= 1", c.MarginHeadroom)
+	case c.MaxMargin < 1:
+		return fmt.Errorf("admit: degrade max margin %v must be >= 1", c.MaxMargin)
+	}
+	return nil
+}
+
+// Degrade tracks predicted-vs-observed divergence. Like the Admitter it is
+// single-goroutine state; snapshot it from the owning loop.
+type Degrade struct {
+	cfg         DegradeConfig
+	ewma        float64 // observed/predicted completion-latency ratio
+	samples     int64
+	active      bool
+	transitions int64
+	shed        int64 // degraded-mode admission rejections (see Decide)
+}
+
+// NewDegrade builds the controller; it panics on an invalid configuration
+// (configs come from code or validated flags, so an invalid one is a
+// programming error).
+func NewDegrade(cfg DegradeConfig) *Degrade {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Degrade{cfg: cfg}
+}
+
+// Observe feeds one finished query's predicted and observed completion
+// latency (both arrival-relative, margin-free). Non-positive predictions
+// are ignored.
+func (d *Degrade) Observe(predictedMS, observedMS float64) {
+	if d.cfg.Disabled || predictedMS <= 0 || observedMS < 0 {
+		return
+	}
+	ratio := observedMS / predictedMS
+	if d.samples == 0 {
+		d.ewma = ratio
+	} else {
+		d.ewma = d.cfg.Alpha*ratio + (1-d.cfg.Alpha)*d.ewma
+	}
+	d.samples++
+	if d.samples < int64(d.cfg.MinSamples) {
+		return
+	}
+	switch {
+	case !d.active && d.ewma >= d.cfg.EnterRatio:
+		d.active = true
+		d.transitions++
+	case d.active && d.ewma <= d.cfg.ExitRatio:
+		d.active = false
+		d.transitions++
+	}
+}
+
+// Margin returns the admission safety margin: 1 while healthy, the smoothed
+// divergence ratio times the configured headroom (capped) while degraded.
+func (d *Degrade) Margin() float64 {
+	if !d.active {
+		return 1
+	}
+	m := d.ewma * d.cfg.MarginHeadroom
+	if m > d.cfg.MaxMargin {
+		m = d.cfg.MaxMargin
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// Active reports whether degraded mode is currently engaged.
+func (d *Degrade) Active() bool { return d.active }
+
+// Status is a point-in-time snapshot of the controller for /statz, metrics,
+// and chaos reports.
+type Status struct {
+	Active      bool    `json:"active"`
+	Transitions int64   `json:"transitions"`
+	Divergence  float64 `json:"divergence_ewma"`
+	Margin      float64 `json:"margin"`
+	Samples     int64   `json:"samples"`
+	Shed        int64   `json:"shed"`
+}
+
+// Snapshot returns the controller's current state.
+func (d *Degrade) Snapshot() Status {
+	return Status{
+		Active:      d.active,
+		Transitions: d.transitions,
+		Divergence:  d.ewma,
+		Margin:      d.Margin(),
+		Samples:     d.samples,
+		Shed:        d.shed,
+	}
+}

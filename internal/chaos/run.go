@@ -1,0 +1,386 @@
+package chaos
+
+import (
+	"fmt"
+
+	"abacus/internal/admit"
+	"abacus/internal/core"
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/sched"
+	"abacus/internal/sim"
+	"abacus/internal/stats"
+	"abacus/internal/trace"
+)
+
+// RetryConfig shapes the scenario's virtual retrying client. Unlike the
+// wall-clock server.RetryPolicy, everything here is virtual ms on the
+// simulation clock, so retry schedules replay exactly.
+type RetryConfig struct {
+	// MaxAttempts bounds total tries, first included (default 3).
+	MaxAttempts int `json:"max_attempts"`
+	// BaseBackoffMS seeds the exponential schedule (default 10 virtual ms).
+	BaseBackoffMS float64 `json:"base_backoff_ms"`
+	// Multiplier grows the backoff between attempts (default 2).
+	Multiplier float64 `json:"multiplier"`
+	// MaxBackoffMS caps a single backoff (default 200).
+	MaxBackoffMS float64 `json:"max_backoff_ms"`
+	// Jitter is the multiplicative half-width of the seeded jitter band
+	// (default 0.2: backoffs scale by [0.8, 1.2)).
+	Jitter float64 `json:"jitter"`
+}
+
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoffMS <= 0 {
+		c.BaseBackoffMS = 10
+	}
+	if c.Multiplier < 1 {
+		c.Multiplier = 2
+	}
+	if c.MaxBackoffMS <= 0 {
+		c.MaxBackoffMS = 200
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		c.Jitter = 0.2
+	}
+	return c
+}
+
+// Scenario is one replayable chaos experiment.
+type Scenario struct {
+	Name string
+	// Models are the co-located services (default ResNet-152 + Inception-v3).
+	Models []dnn.ModelID
+	// QPS is the total Poisson arrival rate (default 30).
+	QPS float64
+	// DurationMS is the arrival-window length in virtual ms (default 10000).
+	DurationMS float64
+	// Seed drives arrivals, fault coin flips, predictor noise, and retry
+	// jitter; same seed + same script ⇒ identical report.
+	Seed int64
+	// QoSFactor scales QoS targets (default 2, the paper's setting).
+	QoSFactor float64
+	// QueueCap bounds admitted-but-unfinished queries per service (default 64).
+	QueueCap int
+	// Script holds the fault windows.
+	Script Script
+	// Degrade tunes the degraded-mode controller (zero value = enabled with
+	// defaults; Disabled for the no-recovery baseline).
+	Degrade admit.DegradeConfig
+	// Retry, when non-nil, gives the virtual client retry behavior.
+	Retry *RetryConfig
+}
+
+// Report is one scenario's outcome. All fields derive from virtual time and
+// seeded randomness only, so a report is byte-identical across runs and
+// parallelism widths.
+type Report struct {
+	Name string  `json:"name"`
+	Seed int64   `json:"seed"`
+	QPS  float64 `json:"qps"`
+
+	Sent     int64 `json:"sent"`     // client requests (arrivals)
+	Attempts int64 `json:"attempts"` // send attempts incl. retries
+	Retries  int64 `json:"retries"`
+
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Good      int64 `json:"good"` // completed within deadline
+	Violated  int64 `json:"violated"`
+	Dropped   int64 `json:"dropped"` // admitted, then dropped by the controller
+
+	RejectedDeadline int64 `json:"rejected_deadline"` // verdicts, not requests
+	RejectedQueue    int64 `json:"rejected_queue"`
+	RejectedDegraded int64 `json:"rejected_degraded"`
+	GaveUp           int64 `json:"gave_up"` // requests never admitted within budget
+
+	FaultDrops      int64 `json:"fault_drops"` // requests lost in transit
+	FaultDuplicates int64 `json:"fault_duplicates"`
+	FaultMalformed  int64 `json:"fault_malformed"`
+
+	DegradeTransitions int64   `json:"degrade_transitions"`
+	DegradeShed        int64   `json:"degrade_shed"`
+	FinalDivergence    float64 `json:"final_divergence"`
+
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Goodput is the deadline-met rate among admitted queries — the QoS
+	// floor chaos scenarios assert.
+	Goodput float64 `json:"goodput"`
+}
+
+// request is one virtual client's state across attempts.
+type request struct {
+	idx      int
+	svc      int
+	in       dnn.Input
+	deadline sim.Time
+	attempts int
+}
+
+// pend is one admitted query awaiting completion.
+type pend struct {
+	predMS float64
+	workMS float64
+}
+
+// harness wires one scenario run; everything runs on the engine goroutine.
+type harness struct {
+	sc      Scenario
+	retry   RetryConfig
+	rt      *core.Runtime
+	adm     *admit.Admitter
+	perturb *predictor.Perturbed
+	pending map[*sched.Query]*pend
+	rep     *Report
+	lats    []float64
+}
+
+func gpuProfile() gpusim.Profile { return gpusim.A100Profile() }
+
+// Run executes one scenario to completion in virtual time.
+func Run(sc Scenario) (*Report, error) {
+	if sc.Name == "" {
+		sc.Name = "unnamed"
+	}
+	if len(sc.Models) == 0 {
+		sc.Models = []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	}
+	if sc.QPS <= 0 {
+		sc.QPS = 30
+	}
+	if sc.DurationMS <= 0 {
+		sc.DurationMS = 10000
+	}
+	if sc.QoSFactor == 0 {
+		sc.QoSFactor = 2
+	}
+	if sc.QueueCap <= 0 {
+		sc.QueueCap = 64
+	}
+	if err := sc.Script.Validate(); err != nil {
+		return nil, err
+	}
+
+	h := &harness{
+		sc:      sc,
+		retry:   RetryConfig{MaxAttempts: 1}, // no retries unless configured
+		pending: make(map[*sched.Query]*pend),
+		rep:     &Report{Name: sc.Name, Seed: sc.Seed, QPS: sc.QPS},
+	}
+	if sc.Retry != nil {
+		h.retry = sc.Retry.withDefaults()
+	}
+
+	profile := gpuProfile()
+	h.perturb = predictor.NewPerturbed(predictor.Oracle{Profile: profile}, 1, 0, sc.Seed)
+	rt, err := core.New(core.Config{
+		Models:    sc.Models,
+		QoSFactor: sc.QoSFactor,
+		Model:     h.perturb,
+		Profile:   profile,
+		OnResult:  h.onResult,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.rt = rt
+	h.adm = admit.New(h.perturb, profile, rt.Services(), sc.QueueCap, 0.02, admit.NewDegrade(sc.Degrade))
+
+	eng := rt.Engine()
+	// Fault windows first, so a window opening at t applies before any
+	// arrival or retry scheduled at the same instant.
+	for _, w := range sc.Script.Windows {
+		h.scheduleWindow(w)
+	}
+	arrivals := trace.NewGenerator(sc.Models, sc.Seed).Poisson(sc.QPS, sc.DurationMS)
+	for i, a := range arrivals {
+		r := &request{idx: i, svc: a.Service, in: a.Input}
+		r.deadline = sim.Time(a.Time) + sim.Time(rt.Services()[a.Service].QoS)
+		at := sim.Time(a.Time)
+		eng.ScheduleAt(at, func() { h.attempt(r, at) })
+	}
+	h.rep.Sent = int64(len(arrivals))
+	eng.Run()
+
+	st := h.adm.Degrade().Snapshot()
+	h.rep.DegradeTransitions = st.Transitions
+	h.rep.DegradeShed = st.Shed
+	h.rep.FinalDivergence = st.Divergence
+	if len(h.lats) > 0 {
+		ps := stats.Percentiles(h.lats, 50, 99)
+		h.rep.P50MS, h.rep.P99MS = ps[0], ps[1]
+	}
+	if h.rep.Admitted > 0 {
+		h.rep.Goodput = float64(h.rep.Good) / float64(h.rep.Admitted)
+	}
+	if len(h.pending) != 0 {
+		return nil, fmt.Errorf("chaos: %d queries still pending after drain", len(h.pending))
+	}
+	return h.rep, nil
+}
+
+// scheduleWindow arms one fault window's open and close events.
+func (h *harness) scheduleWindow(w Window) {
+	eng := h.rt.Engine()
+	dev := h.rt.Device()
+	switch w.Kind {
+	case KindGPUThrottle:
+		mem := w.Mem
+		if mem == 0 {
+			mem = w.Magnitude
+		}
+		eng.ScheduleAt(sim.Time(w.Start), func() { dev.SetDegradation(w.Magnitude, mem) })
+		eng.ScheduleAt(sim.Time(w.End), func() { dev.SetDegradation(1, 1) })
+	case KindLaunchStall:
+		eng.ScheduleAt(sim.Time(w.Start), func() { dev.SetLaunchStall(w.Magnitude) })
+		eng.ScheduleAt(sim.Time(w.End), func() { dev.SetLaunchStall(0) })
+	case KindPredictorBias:
+		eng.ScheduleAt(sim.Time(w.Start), func() {
+			h.perturb.SetBias(w.Magnitude)
+			h.adm.InvalidateCache()
+		})
+		eng.ScheduleAt(sim.Time(w.End), func() {
+			h.perturb.SetBias(1)
+			h.adm.InvalidateCache()
+		})
+	case KindPredictorNoise:
+		eng.ScheduleAt(sim.Time(w.Start), func() {
+			h.perturb.SetNoise(w.Magnitude)
+			h.adm.InvalidateCache()
+		})
+		eng.ScheduleAt(sim.Time(w.End), func() {
+			h.perturb.SetNoise(0)
+			h.adm.InvalidateCache()
+		})
+	}
+	// Request-fault kinds (drop/duplicate/malformed) act per attempt in
+	// attempt(), not via scheduled state changes.
+}
+
+// attempt plays one client send at virtual time now.
+func (h *harness) attempt(r *request, now sim.Time) {
+	r.attempts++
+	h.rep.Attempts++
+
+	// Transit faults, in a fixed order: a corrupted body reaches the
+	// gateway (and is rejected there); a dropped request never does.
+	if w, ok := h.sc.Script.active(KindMalformed, float64(now)); ok &&
+		h.coin(r.idx, r.attempts, 0) < w.Magnitude {
+		h.rep.FaultMalformed++
+		// The gateway answers 400; clients do not retry malformed verdicts.
+		h.rep.GaveUp++
+		return
+	}
+	if w, ok := h.sc.Script.active(KindDrop, float64(now)); ok &&
+		h.coin(r.idx, r.attempts, 1) < w.Magnitude {
+		h.rep.FaultDrops++
+		// Lost in transit: the client notices via timeout and may retry.
+		h.retryOrGiveUp(r, now, 0)
+		return
+	}
+
+	sloMS := float64(r.deadline - now)
+	if sloMS <= 0 {
+		h.rep.RejectedDeadline++
+		h.rep.GaveUp++
+		return
+	}
+	d := h.adm.Decide(now, r.svc, r.in, sloMS)
+	if !d.OK {
+		switch d.Reason {
+		case admit.ReasonQueueFull:
+			h.rep.RejectedQueue++
+		case admit.ReasonDegraded:
+			h.rep.RejectedDegraded++
+		default:
+			h.rep.RejectedDeadline++
+		}
+		h.retryOrGiveUp(r, now, d.RetryMS)
+		return
+	}
+
+	h.rep.Admitted++
+	h.adm.Admitted(r.svc, d.WorkMS)
+	q := h.rt.SubmitSLO(r.svc, r.in, now, sloMS)
+	h.pending[q] = &pend{predMS: d.PredMS, workMS: d.WorkMS}
+
+	// A duplicated request hits the gateway's idempotency layer and is
+	// suppressed without a second execution.
+	if w, ok := h.sc.Script.active(KindDuplicate, float64(now)); ok &&
+		h.coin(r.idx, r.attempts, 2) < w.Magnitude {
+		h.rep.FaultDuplicates++
+	}
+}
+
+// retryOrGiveUp schedules the next attempt if the retry budget (attempts and
+// SLO deadline) allows, else finalizes the request as given up.
+func (h *harness) retryOrGiveUp(r *request, now sim.Time, hintMS float64) {
+	if r.attempts >= h.retry.MaxAttempts {
+		h.rep.GaveUp++
+		return
+	}
+	backoff := h.retry.BaseBackoffMS
+	for i := 1; i < r.attempts; i++ {
+		backoff *= h.retry.Multiplier
+		if backoff >= h.retry.MaxBackoffMS {
+			backoff = h.retry.MaxBackoffMS
+			break
+		}
+	}
+	if h.retry.Jitter > 0 {
+		backoff *= 1 + h.retry.Jitter*(2*h.coin(r.idx, r.attempts, 3)-1)
+	}
+	if hintMS > backoff {
+		backoff = hintMS
+	}
+	wake := now + sim.Time(backoff)
+	if wake >= r.deadline {
+		h.rep.GaveUp++
+		return
+	}
+	h.rep.Retries++
+	h.rt.Engine().ScheduleAt(wake, func() { h.attempt(r, wake) })
+}
+
+// onResult is the runtime sink (engine goroutine).
+func (h *harness) onResult(q *sched.Query) {
+	p, ok := h.pending[q]
+	if !ok {
+		return
+	}
+	delete(h.pending, q)
+	h.adm.Finish(q.Service.ID, p.workMS)
+	h.adm.Degrade().Observe(p.predMS, q.Latency())
+	if q.Dropped {
+		h.rep.Dropped++
+		return
+	}
+	h.rep.Completed++
+	h.lats = append(h.lats, q.Latency())
+	if q.Violated() {
+		h.rep.Violated++
+	} else {
+		h.rep.Good++
+	}
+}
+
+// coin returns a deterministic uniform draw in [0, 1) keyed by (seed,
+// request, attempt, salt) — a splitmix64 finalizer, so fault decisions are
+// independent of scheduling or parallelism.
+func (h *harness) coin(idx, attempt, salt int) float64 {
+	x := uint64(h.sc.Seed)*0x9e3779b97f4a7c15 +
+		uint64(idx)*0xbf58476d1ce4e5b9 +
+		uint64(attempt)*0x94d049bb133111eb +
+		uint64(salt)*0x2545f4914f6cdd1d
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

@@ -1,0 +1,115 @@
+// Named chaos scenarios and deterministic report rendering. The built-ins
+// are the CI suite: a healthy baseline, the 50% GPU throttle with and
+// without degraded-mode recovery (the acceptance pair), a launch-stall
+// storm, a mistrained predictor, and flaky clients exercising the retry and
+// idempotency paths.
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"abacus/internal/admit"
+	"abacus/internal/runner"
+)
+
+// Scenarios returns the named built-in suite, sorted by name.
+func Scenarios() []Scenario {
+	noDegrade := admit.DegradeConfig{Disabled: true}
+	throttle := Script{Windows: []Window{
+		{Kind: KindGPUThrottle, Start: 2000, End: 6000, Magnitude: 0.5},
+	}}
+	// Fast detection for the recovery scenarios: react within two
+	// completions and shed with half again the observed divergence, the
+	// setting that holds the ≥99% goodput floor under the 50% throttle.
+	fastDegrade := admit.DegradeConfig{Alpha: 0.7, MinSamples: 2, MarginHeadroom: 1.5}
+	out := []Scenario{
+		{
+			Name: "baseline", Seed: 11,
+			Degrade: noDegrade,
+		},
+		{
+			Name: "throttle50", Seed: 11,
+			Script:  throttle,
+			Degrade: noDegrade,
+		},
+		{
+			Name: "throttle50-degraded", Seed: 11,
+			Script:  throttle,
+			Degrade: fastDegrade,
+		},
+		{
+			Name: "stall", Seed: 13,
+			Script: Script{Windows: []Window{
+				{Kind: KindLaunchStall, Start: 1000, End: 4000, Magnitude: 2},
+			}},
+			Degrade: fastDegrade,
+		},
+		{
+			Name: "mispredict", Seed: 17,
+			Script: Script{Windows: []Window{
+				{Kind: KindPredictorBias, Start: 1000, End: 5000, Magnitude: 0.6},
+				{Kind: KindPredictorNoise, Start: 1000, End: 5000, Magnitude: 0.2},
+			}},
+			Degrade: fastDegrade,
+		},
+		{
+			Name: "flaky-clients", Seed: 19,
+			Script: Script{Windows: []Window{
+				{Kind: KindDrop, Start: 1000, End: 6000, Magnitude: 0.2},
+				{Kind: KindDuplicate, Start: 1000, End: 6000, Magnitude: 0.2},
+				{Kind: KindMalformed, Start: 3000, End: 5000, Magnitude: 0.1},
+			}},
+			Retry: &RetryConfig{},
+		},
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named built-in scenario.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Scenarios() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// RunAll executes scenarios on a deterministic worker pool; reports come
+// back in input order regardless of the parallelism width.
+func RunAll(scs []Scenario, parallel int) ([]*Report, error) {
+	return runner.MapErr(len(scs), parallel, func(i int) (*Report, error) {
+		return Run(scs[i])
+	})
+}
+
+// Text renders the report as a fixed-order human-readable block. Every
+// value derives from virtual time and seeded randomness, so the bytes are
+// identical across runs and -parallel widths.
+func (r *Report) Text() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "scenario %s (seed %d, qps %s)\n", r.Name, r.Seed, f(r.QPS))
+	fmt.Fprintf(&b, "  sent %d  attempts %d  retries %d\n", r.Sent, r.Attempts, r.Retries)
+	fmt.Fprintf(&b, "  admitted %d  completed %d  good %d  violated %d  dropped %d\n",
+		r.Admitted, r.Completed, r.Good, r.Violated, r.Dropped)
+	fmt.Fprintf(&b, "  rejected: deadline %d  queue %d  degraded %d  gave_up %d\n",
+		r.RejectedDeadline, r.RejectedQueue, r.RejectedDegraded, r.GaveUp)
+	fmt.Fprintf(&b, "  faults: drops %d  duplicates %d  malformed %d\n",
+		r.FaultDrops, r.FaultDuplicates, r.FaultMalformed)
+	fmt.Fprintf(&b, "  degrade: transitions %d  shed %d  divergence %s\n",
+		r.DegradeTransitions, r.DegradeShed, f(r.FinalDivergence))
+	fmt.Fprintf(&b, "  latency: p50 %s ms  p99 %s ms  goodput %s\n",
+		f(r.P50MS), f(r.P99MS), f(r.Goodput))
+	return b.String()
+}
+
+// JSON renders the report as deterministic indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+func f(v float64) string { return fmt.Sprintf("%.4g", v) }

@@ -1,0 +1,213 @@
+// Package chaos is the deterministic fault-injection harness: it replays a
+// seeded arrival trace through the full Abacus runtime — admission control,
+// degraded-mode recovery, and a virtual retrying client included — while a
+// fault script opens and closes fault windows on the virtual clock. Because
+// everything (arrivals, faults, retries, recovery) lives in simulated time,
+// a scenario's report is byte-identical for a given seed and script at any
+// parallelism, which is what lets CI assert QoS floors under faults instead
+// of eyeballing flaky wall-clock runs.
+package chaos
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Fault kinds a script may open windows for.
+const (
+	// KindGPUThrottle cuts the simulated GPU clock: Magnitude is the
+	// remaining speed fraction in (0, 1] (0.5 = half speed), Mem optionally
+	// the remaining memory-bandwidth fraction (default: same as Magnitude).
+	KindGPUThrottle = "gpu_throttle"
+	// KindLaunchStall delays every kernel launch by Magnitude virtual ms.
+	KindLaunchStall = "launch_stall"
+	// KindPredictorBias multiplies every latency prediction by Magnitude
+	// (0.5 = the predictor reports half the true latency).
+	KindPredictorBias = "predictor_bias"
+	// KindPredictorNoise adds seeded multiplicative noise of half-width
+	// Magnitude in [0, 1) to every prediction.
+	KindPredictorNoise = "predictor_noise"
+	// KindDrop loses each client request in transit with probability
+	// Magnitude (the response never arrives; the client may retry).
+	KindDrop = "drop"
+	// KindDuplicate re-sends each client request with probability Magnitude
+	// (same idempotency key — the gateway must suppress the double).
+	KindDuplicate = "duplicate"
+	// KindMalformed corrupts each request body with probability Magnitude
+	// (the gateway rejects it without admission; clients do not retry 400s).
+	KindMalformed = "malformed"
+)
+
+var kinds = map[string]bool{
+	KindGPUThrottle:    true,
+	KindLaunchStall:    true,
+	KindPredictorBias:  true,
+	KindPredictorNoise: true,
+	KindDrop:           true,
+	KindDuplicate:      true,
+	KindMalformed:      true,
+}
+
+// Window is one fault active over [Start, End) virtual ms.
+type Window struct {
+	Kind      string  `json:"kind"`
+	Start     float64 `json:"start_ms"`
+	End       float64 `json:"end_ms"`
+	Magnitude float64 `json:"magnitude"`
+	// Mem is KindGPUThrottle's optional separate memory-bandwidth fraction;
+	// 0 means "same as Magnitude".
+	Mem float64 `json:"mem,omitempty"`
+}
+
+func (w Window) validate() error {
+	if !kinds[w.Kind] {
+		return fmt.Errorf("chaos: unknown fault kind %q", w.Kind)
+	}
+	if !(w.Start >= 0) || !(w.End > w.Start) {
+		return fmt.Errorf("chaos: %s window [%v, %v) is not a forward interval", w.Kind, w.Start, w.End)
+	}
+	m := w.Magnitude
+	switch w.Kind {
+	case KindGPUThrottle:
+		if !(m > 0) || m > 1 {
+			return fmt.Errorf("chaos: gpu_throttle magnitude %v outside (0, 1]", m)
+		}
+		if w.Mem != 0 && (!(w.Mem > 0) || w.Mem > 1) {
+			return fmt.Errorf("chaos: gpu_throttle mem fraction %v outside (0, 1]", w.Mem)
+		}
+	case KindLaunchStall:
+		if !(m >= 0) {
+			return fmt.Errorf("chaos: launch_stall magnitude %v must be >= 0 ms", m)
+		}
+	case KindPredictorBias:
+		if !(m > 0) {
+			return fmt.Errorf("chaos: predictor_bias magnitude %v must be positive", m)
+		}
+	case KindPredictorNoise:
+		if !(m >= 0) || m >= 1 {
+			return fmt.Errorf("chaos: predictor_noise magnitude %v outside [0, 1)", m)
+		}
+	case KindDrop, KindDuplicate, KindMalformed:
+		if !(m >= 0) || m > 1 {
+			return fmt.Errorf("chaos: %s probability %v outside [0, 1]", w.Kind, m)
+		}
+	}
+	return nil
+}
+
+// Script is an ordered set of fault windows.
+type Script struct {
+	Windows []Window `json:"windows"`
+}
+
+// Validate checks every window and rejects overlapping windows of the same
+// kind (their reverts would race; sequential windows express the same
+// scenarios unambiguously).
+func (s Script) Validate() error {
+	for _, w := range s.Windows {
+		if err := w.validate(); err != nil {
+			return err
+		}
+	}
+	byKind := map[string][]Window{}
+	for _, w := range s.Windows {
+		byKind[w.Kind] = append(byKind[w.Kind], w)
+	}
+	for kind, ws := range byKind {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+		for i := 1; i < len(ws); i++ {
+			if ws[i].Start < ws[i-1].End {
+				return fmt.Errorf("chaos: %s windows [%v, %v) and [%v, %v) overlap",
+					kind, ws[i-1].Start, ws[i-1].End, ws[i].Start, ws[i].End)
+			}
+		}
+	}
+	return nil
+}
+
+// active reports whether a window of the given kind covers time t and, if
+// so, returns it.
+func (s Script) active(kind string, t float64) (Window, bool) {
+	for _, w := range s.Windows {
+		if w.Kind == kind && t >= w.Start && t < w.End {
+			return w, true
+		}
+	}
+	return Window{}, false
+}
+
+// ParseScript reads a fault script from JSON (an object with a "windows"
+// array, or a bare array of windows) or CSV
+// ("kind,start_ms,end_ms,magnitude[,mem]" rows, # comments allowed),
+// sniffing the format from the first non-space byte.
+func ParseScript(data []byte) (Script, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if trimmed == "" {
+		return Script{}, fmt.Errorf("chaos: empty fault script")
+	}
+	var s Script
+	switch trimmed[0] {
+	case '{':
+		if err := json.Unmarshal([]byte(trimmed), &s); err != nil {
+			return Script{}, fmt.Errorf("chaos: parsing JSON script: %w", err)
+		}
+	case '[':
+		if err := json.Unmarshal([]byte(trimmed), &s.Windows); err != nil {
+			return Script{}, fmt.Errorf("chaos: parsing JSON script: %w", err)
+		}
+	default:
+		ws, err := parseCSVScript(trimmed)
+		if err != nil {
+			return Script{}, err
+		}
+		s.Windows = ws
+	}
+	if err := s.Validate(); err != nil {
+		return Script{}, err
+	}
+	return s, nil
+}
+
+func parseCSVScript(text string) ([]Window, error) {
+	r := csv.NewReader(strings.NewReader(text))
+	r.Comment = '#'
+	r.FieldsPerRecord = -1
+	r.TrimLeadingSpace = true
+	var out []Window
+	line := 0
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("chaos: parsing CSV script: %w", err)
+		}
+		line++
+		if line == 1 && strings.EqualFold(rec[0], "kind") {
+			continue // header row
+		}
+		if len(rec) < 4 || len(rec) > 5 {
+			return nil, fmt.Errorf("chaos: CSV row %d has %d fields, want kind,start_ms,end_ms,magnitude[,mem]", line, len(rec))
+		}
+		w := Window{Kind: strings.TrimSpace(rec[0])}
+		fields := []*float64{&w.Start, &w.End, &w.Magnitude, &w.Mem}
+		for i, dst := range fields[:len(rec)-1] {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[i+1]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: CSV row %d field %d: %w", line, i+2, err)
+			}
+			*dst = v
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: CSV script has no fault windows")
+	}
+	return out, nil
+}

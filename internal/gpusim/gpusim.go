@@ -107,6 +107,15 @@ type Device struct {
 	lastUpdate sim.Time
 	completion *sim.Event
 
+	// Fault-injection state (internal/chaos): degradation scales the
+	// effective capacity seen by computeRates without touching the nominal
+	// smCap/memCap that Partition and the predictors reason about —
+	// throttling is precisely the regime where the duration model and the
+	// device disagree.
+	smDegrade   float64 // effective-SM scale, (0, 1]; 1 = healthy
+	memDegrade  float64 // effective-bandwidth scale, (0, 1]; 1 = healthy
+	launchStall float64 // extra delay before each Launch takes effect, ms
+
 	noise      *rand.Rand
 	noiseSigma float64
 	tracer     Tracer
@@ -133,6 +142,8 @@ func newDevice(eng *sim.Engine, profile Profile, smCap, memCap float64) *Device 
 		profile:    profile,
 		smCap:      smCap,
 		memCap:     memCap,
+		smDegrade:  1,
+		memDegrade: 1,
 		running:    make(map[*kernel]struct{}),
 		lastUpdate: eng.Now(),
 	}
@@ -174,6 +185,46 @@ func (d *Device) EnableNoise(sigma float64, seed int64) {
 	d.noiseSigma = sigma
 }
 
+// SetDegradation injects a transient substrate fault: smScale is a clock
+// cut that multiplies every resident kernel's progress rate (thermal/power
+// throttling slows all work proportionally), while memScale shrinks the
+// device's memory-bandwidth capacity (hurting only bandwidth-constrained
+// kernels, like a misbehaving HBM stack or ECC scrubbing storm). Both are
+// in (0, 1]; (1, 1) restores the healthy device. Resident kernels are
+// re-rated immediately: progress already made is preserved exactly, and
+// the change is deterministic on the virtual clock. Nominal capacity
+// (SMCapacity, MemCapacity, Partition) is unaffected, so latency
+// predictors keep seeing the healthy device — which is exactly what makes
+// throttling a prediction fault worth injecting.
+func (d *Device) SetDegradation(smScale, memScale float64) {
+	if !(smScale > 0) || smScale > 1 || !(memScale > 0) || memScale > 1 {
+		panic(fmt.Sprintf("gpusim: degradation (%v, %v) out of (0,1]", smScale, memScale))
+	}
+	d.advance()
+	d.smDegrade = smScale
+	d.memDegrade = memScale
+	d.reschedule()
+}
+
+// Degradation returns the current (SM, bandwidth) degradation factors;
+// (1, 1) means the device is healthy.
+func (d *Device) Degradation() (smScale, memScale float64) {
+	return d.smDegrade, d.memDegrade
+}
+
+// SetLaunchStall injects a fixed host-side stall before every subsequent
+// Launch takes effect, modeling driver/runtime hiccups in the kernel-launch
+// path. Zero restores immediate launches; negative stalls panic.
+func (d *Device) SetLaunchStall(ms float64) {
+	if ms < 0 || math.IsNaN(ms) {
+		panic(fmt.Sprintf("gpusim: launch stall %v must be >= 0", ms))
+	}
+	d.launchStall = ms
+}
+
+// LaunchStall returns the current injected per-launch stall in ms.
+func (d *Device) LaunchStall() float64 { return d.launchStall }
+
 // Resident reports the number of kernels currently executing.
 func (d *Device) Resident() int { return len(d.running) }
 
@@ -204,6 +255,16 @@ func (d *Device) Launch(spec KernelSpec, done func()) {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
+	if d.launchStall > 0 {
+		// The stall defers the launch on the virtual clock; the stall in
+		// force at Launch time is the one paid, even if cleared meanwhile.
+		d.eng.Schedule(d.launchStall, func() { d.launchNow(spec, done) })
+		return
+	}
+	d.launchNow(spec, done)
+}
+
+func (d *Device) launchNow(spec KernelSpec, done func()) {
 	d.advance()
 	w := spec.Work
 	if d.noise != nil {
@@ -348,7 +409,7 @@ func (d *Device) computeRates() {
 		memDemand[i] = k.spec.MemFrac
 	}
 	smAlloc := maxMinShares(smDemand, d.smCap)
-	memAlloc := maxMinShares(memDemand, d.memCap)
+	memAlloc := maxMinShares(memDemand, d.memCap*d.memDegrade)
 	for i, k := range kernels {
 		r := smAlloc[i] / k.spec.SMFrac
 		if k.spec.MemFrac > 0 {
@@ -364,7 +425,9 @@ func (d *Device) computeRates() {
 		if r > 1 {
 			r = 1
 		}
-		k.rate = r
+		// An SM throttle is a clock cut: every resident kernel's progress
+		// scales by the degradation factor, on top of contention.
+		k.rate = r * d.smDegrade
 	}
 }
 

@@ -556,3 +556,81 @@ func TestOverlapTimeNested(t *testing.T) {
 		t.Errorf("3-deep overlap = %v, want 2", got)
 	}
 }
+
+func TestDegradationThrottlesAllKernels(t *testing.T) {
+	// A 50% clock cut halves every resident kernel's rate, including ones
+	// far below the SM capacity, and restoring mid-flight preserves the
+	// progress already made.
+	eng := sim.NewEngine()
+	d := New(eng, testProfile())
+	var finish sim.Time
+	d.Launch(KernelSpec{Name: "k", Work: 4, SMFrac: 0.2, MemFrac: 0.1}, func() { finish = eng.Now() })
+	d.SetDegradation(0.5, 1)
+	eng.Schedule(4, func() { d.SetDegradation(1, 1) }) // 2 ms of work done by then
+	eng.Run()
+	// 4 ms at rate 0.5 (2 ms progress), then 2 ms at full rate.
+	if !almostEqual(finish, 6, 1e-9) {
+		t.Errorf("throttled kernel finished at %v, want 6", finish)
+	}
+	if sm, mem := d.Degradation(); sm != 1 || mem != 1 {
+		t.Errorf("degradation not restored: (%v, %v)", sm, mem)
+	}
+}
+
+func TestMemDegradationOnlyHurtsBandwidthBoundKernels(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testProfile())
+	d.SetDegradation(1, 0.5)
+	var fCompute, fMem sim.Time
+	d.Launch(KernelSpec{Name: "compute", Work: 3, SMFrac: 0.3, MemFrac: 0.1}, func() { fCompute = eng.Now() })
+	d.Launch(KernelSpec{Name: "mem", Work: 3, SMFrac: 0.3, MemFrac: 0.8}, func() { fMem = eng.Now() })
+	eng.Run()
+	if !almostEqual(fCompute, 3, 1e-9) {
+		t.Errorf("compute-bound kernel finished at %v under mem degrade, want 3 (unaffected)", fCompute)
+	}
+	// mem kernel: demand 0.8 against residual capacity 0.5-0.1=0.4 → rate
+	// 0.5 while sharing (1.5 done by t=3), then alone at 0.5/0.8 = 0.625
+	// (remaining 1.5 takes 2.4 ms) → finish 5.4.
+	if !almostEqual(fMem, 5.4, 1e-9) {
+		t.Errorf("bandwidth-bound kernel finished at %v under 0.5 mem degrade, want 5.4", fMem)
+	}
+}
+
+func TestLaunchStallDefersExecution(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testProfile())
+	d.SetLaunchStall(1.5)
+	var finish sim.Time
+	d.Launch(KernelSpec{Name: "k", Work: 2, SMFrac: 0.5}, func() { finish = eng.Now() })
+	d.SetLaunchStall(0) // the stall in force at Launch time is still paid
+	eng.Run()
+	if !almostEqual(finish, 3.5, 1e-9) {
+		t.Errorf("stalled kernel finished at %v, want 3.5 (1.5 stall + 2 work)", finish)
+	}
+	if d.LaunchStall() != 0 {
+		t.Errorf("LaunchStall = %v after reset, want 0", d.LaunchStall())
+	}
+}
+
+func TestDegradationValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, testProfile())
+	for _, bad := range [][2]float64{{0, 1}, {1, 0}, {1.5, 1}, {1, -0.2}, {math.NaN(), 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetDegradation(%v, %v) did not panic", bad[0], bad[1])
+				}
+			}()
+			d.SetDegradation(bad[0], bad[1])
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetLaunchStall(-1) did not panic")
+			}
+		}()
+		d.SetLaunchStall(-1)
+	}()
+}

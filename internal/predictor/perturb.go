@@ -1,0 +1,87 @@
+// Perturbed wraps a LatencyModel with deterministic, bounded misprediction:
+// a multiplicative bias (a systematically optimistic or pessimistic
+// predictor) plus seeded uniform relative noise (a noisy one). The chaos
+// experiments use it to ask the question the paper doesn't: what happens to
+// Abacus when the prediction it schedules and admits by is wrong by a known,
+// controllable amount.
+package predictor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Perturbed is a LatencyModel decorator. Bias and noise are mutable so fault
+// windows can switch misprediction on and off mid-run; like every model in
+// the repro it must only be called from the simulation goroutine, which also
+// keeps the seeded noise stream deterministic.
+type Perturbed struct {
+	inner LatencyModel
+	bias  float64 // multiplicative, > 0; 1 = unbiased
+	noise float64 // relative amplitude in [0, 1): v *= 1 + noise*U(-1,1)
+	rng   *rand.Rand
+}
+
+// NewPerturbed wraps inner with the given bias and noise amplitude. bias
+// must be positive (0.8 = systematic 20% underprediction); noise must be in
+// [0, 1) so perturbed predictions stay positive and bounded.
+func NewPerturbed(inner LatencyModel, bias, noise float64, seed int64) *Perturbed {
+	if inner == nil {
+		panic("predictor: Perturbed requires an inner model")
+	}
+	p := &Perturbed{inner: inner, rng: rand.New(rand.NewSource(seed))}
+	p.SetBias(bias)
+	p.SetNoise(noise)
+	return p
+}
+
+// SetBias updates the multiplicative bias; it panics unless bias > 0 and
+// finite.
+func (p *Perturbed) SetBias(bias float64) {
+	if !(bias > 0) || math.IsInf(bias, 0) {
+		panic(fmt.Sprintf("predictor: perturbation bias %v must be positive and finite", bias))
+	}
+	p.bias = bias
+}
+
+// SetNoise updates the relative noise amplitude; it panics unless noise is
+// in [0, 1).
+func (p *Perturbed) SetNoise(noise float64) {
+	if noise < 0 || noise >= 1 || math.IsNaN(noise) {
+		panic(fmt.Sprintf("predictor: perturbation noise %v must be in [0, 1)", noise))
+	}
+	p.noise = noise
+}
+
+// Bias returns the current multiplicative bias.
+func (p *Perturbed) Bias() float64 { return p.bias }
+
+// Noise returns the current relative noise amplitude.
+func (p *Perturbed) Noise() float64 { return p.noise }
+
+// Healthy reports whether the wrapper currently passes predictions through
+// unmodified.
+func (p *Perturbed) Healthy() bool { return p.bias == 1 && p.noise == 0 }
+
+func (p *Perturbed) perturb(v float64) float64 {
+	v *= p.bias
+	if p.noise > 0 {
+		v *= 1 + p.noise*(2*p.rng.Float64()-1)
+	}
+	return v
+}
+
+// Predict implements LatencyModel.
+func (p *Perturbed) Predict(g Group) float64 { return p.perturb(p.inner.Predict(g)) }
+
+// PredictBatch implements LatencyModel.
+func (p *Perturbed) PredictBatch(gs []Group) []float64 {
+	out := p.inner.PredictBatch(gs)
+	for i, v := range out {
+		out[i] = p.perturb(v)
+	}
+	return out
+}
+
+var _ LatencyModel = (*Perturbed)(nil)

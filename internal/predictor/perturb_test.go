@@ -1,0 +1,73 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+)
+
+func perturbGroup() Group {
+	m := dnn.Get(dnn.ResNet152)
+	return Group{{Model: dnn.ResNet152, OpStart: 0, OpEnd: m.NumOps(), Batch: 8}}
+}
+
+func TestPerturbedBiasScalesPrediction(t *testing.T) {
+	base := Oracle{Profile: gpusim.A100Profile()}
+	g := perturbGroup()
+	truth := base.Predict(g)
+	p := NewPerturbed(base, 0.8, 0, 1)
+	if got := p.Predict(g); math.Abs(got-0.8*truth) > 1e-9 {
+		t.Errorf("biased prediction %v, want %v", got, 0.8*truth)
+	}
+	if p.Healthy() {
+		t.Error("Healthy() true with bias 0.8")
+	}
+	p.SetBias(1)
+	if !p.Healthy() {
+		t.Error("Healthy() false after restoring bias 1, noise 0")
+	}
+}
+
+func TestPerturbedNoiseBoundedAndSeeded(t *testing.T) {
+	base := Oracle{Profile: gpusim.A100Profile()}
+	g := perturbGroup()
+	truth := base.Predict(g)
+	a := NewPerturbed(base, 1, 0.3, 42)
+	b := NewPerturbed(base, 1, 0.3, 42)
+	for i := 0; i < 50; i++ {
+		va, vb := a.Predict(g), b.Predict(g)
+		if va != vb {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, va, vb)
+		}
+		if rel := va / truth; rel < 0.7-1e-9 || rel > 1.3+1e-9 {
+			t.Fatalf("draw %d: noise escaped bound: ratio %v outside [0.7, 1.3]", i, rel)
+		}
+	}
+	// Batch and scalar paths draw from the same stream discipline: bounds hold.
+	for _, v := range a.PredictBatch([]Group{g, g, g}) {
+		if rel := v / truth; rel < 0.7-1e-9 || rel > 1.3+1e-9 {
+			t.Fatalf("batch noise escaped bound: ratio %v", rel)
+		}
+	}
+}
+
+func TestPerturbedValidation(t *testing.T) {
+	base := Oracle{Profile: gpusim.A100Profile()}
+	for _, fn := range map[string]func(){
+		"zero bias":     func() { NewPerturbed(base, 0, 0, 1) },
+		"negative bias": func() { NewPerturbed(base, -1, 0, 1) },
+		"noise >= 1":    func() { NewPerturbed(base, 1, 1, 1) },
+		"nil inner":     func() { NewPerturbed(nil, 1, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v", "expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

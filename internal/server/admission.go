@@ -1,26 +1,17 @@
-// Predictor-driven admission control (Clockwork-style): at arrival, the
-// gateway predicts when the query would complete if admitted — current
-// virtual time, plus its input transfer, plus the predicted work already
-// admitted and unfinished, plus its own predicted solo execution — and
-// rejects immediately when that misses the deadline. The backlog term is the
-// sequential-execution bound; Abacus's deterministic overlap only improves
-// on it, so admission errs on the safe side, and the controller's own
-// query-drop mechanism remains the backstop for mid-flight infeasibility.
+// Wire types of the gateway's HTTP contract. Admission decisions themselves
+// live in internal/admit (shared with the chaos harness); this file keeps
+// the request/response shapes and the rejection-reason vocabulary the
+// clients parse.
 package server
 
-import (
-	"abacus/internal/dnn"
-	"abacus/internal/gpusim"
-	"abacus/internal/predictor"
-	"abacus/internal/sched"
-	"abacus/internal/sim"
-)
+import "abacus/internal/admit"
 
-// Rejection reasons reported on the wire.
+// Rejection reasons reported on the wire (re-exported from internal/admit).
 const (
-	reasonDeadline  = "deadline_unmeetable"
-	reasonQueueFull = "queue_full"
-	reasonDraining  = "draining"
+	reasonDeadline  = admit.ReasonDeadline
+	reasonQueueFull = admit.ReasonQueueFull
+	reasonDraining  = admit.ReasonDraining
+	reasonDegraded  = admit.ReasonDegraded
 )
 
 // InferRequest is the POST /v1/infer body.
@@ -31,6 +22,13 @@ type InferRequest struct {
 	// DeadlineMS is the per-request latency SLO in virtual ms; 0 selects the
 	// service-wide QoS target.
 	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+	// RequestID is an optional idempotency key: the gateway executes at most
+	// one query per distinct ID, so a client retry after a lost response
+	// cannot double-execute. The retrying client sets it automatically.
+	RequestID string `json:"request_id,omitempty"`
+	// Attempt is the zero-based client attempt number; attempts > 0 count
+	// toward the gateway's retry metrics.
+	Attempt int `json:"attempt,omitempty"`
 }
 
 // InferResponse is the /v1/infer reply (success, rejection, and error).
@@ -48,98 +46,11 @@ type InferResponse struct {
 	RetryAfterMS float64 `json:"retry_after_ms,omitempty"`
 	Dropped      bool    `json:"dropped,omitempty"`
 	Violated     bool    `json:"violated,omitempty"`
-	Error        string  `json:"error,omitempty"`
-}
-
-// decision is one admission verdict.
-type decision struct {
-	ok      bool
-	reason  string
-	predMS  float64 // predicted completion latency (arrival-relative)
-	workMS  float64 // this query's own predicted solo work (backlog unit)
-	retryMS float64 // virtual-ms backoff hint on rejection
-}
-
-// admitter tracks the predicted backlog of admitted work. All fields are
-// owned by the bridge loop goroutine.
-type admitter struct {
-	model    predictor.LatencyModel
-	profile  gpusim.Profile
-	services []*sched.Service
-	queueCap int
-	syncCost float64
-
-	outstanding []int   // admitted-but-unfinished per service
-	backlogMS   float64 // Σ predicted completion latencies of outstanding work
-	soloCache   map[dnn.Input]map[int]float64
-}
-
-func newAdmitter(model predictor.LatencyModel, profile gpusim.Profile, services []*sched.Service, queueCap int, syncCost float64) *admitter {
-	return &admitter{
-		model:       model,
-		profile:     profile,
-		services:    services,
-		queueCap:    queueCap,
-		syncCost:    syncCost,
-		outstanding: make([]int, len(services)),
-		soloCache:   make(map[dnn.Input]map[int]float64),
-	}
-}
-
-// soloPred returns the predicted exclusive latency (transfer + execution +
-// group sync) of a full query, memoized: the served input space is small
-// (Table 1), so steady state answers from the cache.
-func (a *admitter) soloPred(service int, in dnn.Input) float64 {
-	byService, ok := a.soloCache[in]
-	if !ok {
-		byService = make(map[int]float64)
-		a.soloCache[in] = byService
-	}
-	if v, ok := byService[service]; ok {
-		return v
-	}
-	svc := a.services[service]
-	m := dnn.Get(svc.Model)
-	g := predictor.Group{{
-		Model:   svc.Model,
-		OpStart: 0,
-		OpEnd:   m.NumOps(),
-		Batch:   in.Batch,
-		SeqLen:  in.SeqLen,
-	}}
-	v := dnn.TransferTime(m, in, a.profile) + a.model.Predict(g) + a.syncCost
-	byService[service] = v
-	return v
-}
-
-// decide renders the admission verdict for a query arriving now.
-func (a *admitter) decide(now sim.Time, service int, in dnn.Input, sloMS float64) decision {
-	if sloMS <= 0 {
-		sloMS = a.services[service].QoS
-	}
-	solo := a.soloPred(service, in)
-	predMS := a.backlogMS + solo // arrival-relative predicted completion
-	if a.outstanding[service] >= a.queueCap {
-		return decision{reason: reasonQueueFull, predMS: predMS, workMS: solo, retryMS: a.backlogMS}
-	}
-	if predMS > sloMS {
-		return decision{reason: reasonDeadline, predMS: predMS, workMS: solo, retryMS: predMS - sloMS}
-	}
-	return decision{ok: true, predMS: predMS, workMS: solo}
-}
-
-// admitted records an accepted query's predicted solo work.
-func (a *admitter) admitted(service int, workMS float64) {
-	a.outstanding[service]++
-	a.backlogMS += workMS
-}
-
-// finish releases an admitted query's predicted work once it completes or
-// is dropped.
-func (a *admitter) finish(service int, workMS float64) {
-	a.outstanding[service]--
-	a.backlogMS -= workMS
-	if a.backlogMS < 1e-9 {
-		a.backlogMS = 0
-	}
+	// Duplicate marks an answer served from the idempotency cache or by
+	// attaching to an in-flight query with the same RequestID.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Degraded marks a verdict rendered while the gateway was in degraded
+	// mode (widened admission margin).
+	Degraded bool   `json:"degraded,omitempty"`
+	Error    string `json:"error,omitempty"`
 }

@@ -34,25 +34,32 @@ func NewClient(base string, httpClient *http.Client) *Client {
 // status conveys the HTTP code (200 completed, 429 rejected, 503 draining,
 // 504 dropped).
 func (c *Client) Infer(ctx context.Context, req InferRequest) (*InferResponse, int, error) {
+	resp, status, _, err := c.inferHeaders(ctx, req)
+	return resp, status, err
+}
+
+// inferHeaders is Infer plus the response headers, which the retry layer
+// reads for Retry-After hints.
+func (c *Client) inferHeaders(ctx context.Context, req InferRequest) (*InferResponse, int, http.Header, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer", bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer hres.Body.Close()
 	var out InferResponse
 	if err := json.NewDecoder(hres.Body).Decode(&out); err != nil {
-		return nil, hres.StatusCode, fmt.Errorf("decoding /v1/infer response: %w", err)
+		return nil, hres.StatusCode, hres.Header, fmt.Errorf("decoding /v1/infer response: %w", err)
 	}
-	return &out, hres.StatusCode, nil
+	return &out, hres.StatusCode, hres.Header, nil
 }
 
 // Stats fetches /statz.

@@ -41,6 +41,9 @@ type LoadConfig struct {
 	Closed      bool
 	Concurrency int
 	Requests    int
+	// Retry, when non-nil, sends every request through a Retrier under this
+	// policy (idempotency keys assigned automatically).
+	Retry *RetryPolicy
 }
 
 // LoadStats aggregates one slice of outcomes.
@@ -52,8 +55,11 @@ type LoadStats struct {
 	Dropped          int // admitted, then dropped by the controller (504)
 	RejectedDeadline int // 429, predicted completion past the deadline
 	RejectedQueue    int // 429, per-service queue bound
+	RejectedDegraded int // 429, shed by the degraded-mode margin
 	Unavailable      int // 503, draining or stopped
 	Errors           int // transport / protocol failures
+	Retries          int // extra attempts sent by the retry layer
+	Duplicates       int // responses served from the gateway's idempotency cache
 
 	P50MS      float64 // over completed queries, virtual ms
 	P99MS      float64
@@ -84,6 +90,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadResult, error) {
 		cfg.Speedup = 1
 	}
 	col := newCollector(len(cfg.Models))
+	if cfg.Retry != nil {
+		col.retrier = NewRetrier(*cfg.Retry)
+	}
 	wallStart := time.Now()
 	if cfg.Closed {
 		runClosed(ctx, cfg, col)
@@ -159,14 +168,25 @@ func sendOne(ctx context.Context, cfg LoadConfig, a trace.Arrival, col *collecto
 		SeqLen:     a.Input.SeqLen,
 		DeadlineMS: cfg.DeadlineMS,
 	}
-	resp, status, err := cfg.Client.Infer(ctx, req)
-	col.record(a.Service, resp, status, err)
+	var (
+		resp   *InferResponse
+		status int
+		err    error
+		rst    RetryStats
+	)
+	if col.retrier != nil {
+		resp, status, rst, err = col.retrier.InferRetry(ctx, cfg.Client, req)
+	} else {
+		resp, status, err = cfg.Client.Infer(ctx, req)
+	}
+	col.record(a.Service, resp, status, err, rst)
 }
 
 // collector accumulates outcomes thread-safely.
 type collector struct {
-	mu  sync.Mutex
-	per []LoadStats
+	retrier *Retrier
+	mu      sync.Mutex
+	per     []LoadStats
 }
 
 func newCollector(services int) *collector {
@@ -177,11 +197,15 @@ func newCollector(services int) *collector {
 	return c
 }
 
-func (c *collector) record(service int, resp *InferResponse, status int, err error) {
+func (c *collector) record(service int, resp *InferResponse, status int, err error, rst RetryStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := &c.per[service]
 	s.Sent++
+	s.Retries += rst.Retries
+	if resp != nil && resp.Duplicate {
+		s.Duplicates++
+	}
 	switch {
 	case err != nil:
 		s.Errors++
@@ -203,6 +227,8 @@ func (c *collector) record(service int, resp *InferResponse, status int, err err
 		s.Dropped++
 	case status == 429 && resp.Reason == reasonQueueFull:
 		s.RejectedQueue++
+	case status == 429 && resp.Reason == reasonDegraded:
+		s.RejectedDegraded++
 	case status == 429:
 		s.RejectedDeadline++
 	case status == 503:
@@ -227,8 +253,11 @@ func (c *collector) result() *LoadResult {
 		t.Dropped += s.Dropped
 		t.RejectedDeadline += s.RejectedDeadline
 		t.RejectedQueue += s.RejectedQueue
+		t.RejectedDegraded += s.RejectedDegraded
 		t.Unavailable += s.Unavailable
 		t.Errors += s.Errors
+		t.Retries += s.Retries
+		t.Duplicates += s.Duplicates
 		t.lats = append(t.lats, s.lats...)
 		if s.firstArrive < t.firstArrive {
 			t.firstArrive = s.firstArrive

@@ -31,6 +31,7 @@ func renderMetrics(st Statz) []byte {
 			{"rejected_deadline", s.RejectedDeadline},
 			{"rejected_queue", s.RejectedQueue},
 			{"rejected_draining", s.RejectedDraining},
+			{"rejected_degraded", s.RejectedDegraded},
 		} {
 			emit("abacus_requests_total{service=%q,outcome=%q} %d\n", s.Model, o.outcome, o.v)
 		}
@@ -81,6 +82,32 @@ func renderMetrics(st Statz) []byte {
 		d = 1
 	}
 	emit("abacus_draining %d\n", d)
+
+	head("abacus_faults_total", "counter", "Faults absorbed by the gateway, by kind.")
+	emit("abacus_faults_total{kind=\"malformed\"} %d\n", st.Faults.Malformed)
+	emit("abacus_faults_total{kind=\"duplicate_suppressed\"} %d\n", st.Faults.DuplicatesSuppressed)
+
+	head("abacus_retries_total", "counter", "Client retry attempts seen (requests with attempt > 0).")
+	emit("abacus_retries_total %d\n", st.Faults.RetriesSeen)
+
+	head("abacus_degraded", "gauge", "1 while degraded mode widens the admission margin.")
+	dg := 0
+	if st.Degrade.Active {
+		dg = 1
+	}
+	emit("abacus_degraded %d\n", dg)
+
+	head("abacus_degraded_transitions_total", "counter", "Degraded-mode enter/exit transitions.")
+	emit("abacus_degraded_transitions_total %d\n", st.Degrade.Transitions)
+
+	head("abacus_degraded_shed_total", "counter", "Admissions shed only because of the widened margin.")
+	emit("abacus_degraded_shed_total %d\n", st.Degrade.Shed)
+
+	head("abacus_divergence_ewma", "gauge", "EWMA of observed/predicted completion-latency ratio.")
+	emit("abacus_divergence_ewma %s\n", promFloat(st.Degrade.Divergence))
+
+	head("abacus_admission_margin", "gauge", "Current admission safety margin (1 while healthy).")
+	emit("abacus_admission_margin %s\n", promFloat(st.Degrade.Margin))
 
 	return b.Bytes()
 }

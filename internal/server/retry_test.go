@@ -1,0 +1,263 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abacus/internal/dnn"
+)
+
+// fakeGateway serves canned /v1/infer verdicts for retry-path tests that
+// must not depend on real pacing.
+func fakeGateway(t *testing.T, handler http.HandlerFunc) *Client {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", handler)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL, nil)
+}
+
+func writeVerdict(w http.ResponseWriter, code int, resp InferResponse) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// TestRetryBudgetExhaustedMidSLO: the exponential schedule runs out of SLO
+// budget before MaxAttempts, and the retrier surfaces the last verdict
+// instead of sleeping past the deadline.
+func TestRetryBudgetExhaustedMidSLO(t *testing.T) {
+	var hits atomic.Int64
+	c := fakeGateway(t, func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeVerdict(w, http.StatusServiceUnavailable, InferResponse{Reason: reasonDraining})
+	})
+	r := NewRetrier(RetryPolicy{
+		MaxAttempts: 10,
+		BaseBackoff: 40 * time.Millisecond,
+		Multiplier:  4,
+		Jitter:      -1, // deterministic schedule: 40ms, 160ms, 640ms...
+		SLOBudget:   300 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, status, st, err := r.InferRetry(context.Background(), c, InferRequest{Model: "x"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusServiceUnavailable || resp == nil {
+		t.Fatalf("want last 503 verdict back, got status %d resp %+v", status, resp)
+	}
+	if !st.BudgetExhausted {
+		t.Errorf("budget not marked exhausted: %+v", st)
+	}
+	if st.Attempts >= 10 || st.Attempts < 2 {
+		t.Errorf("attempts = %d, want a few but fewer than MaxAttempts", st.Attempts)
+	}
+	if int64(st.Attempts) != hits.Load() {
+		t.Errorf("attempts %d != server hits %d", st.Attempts, hits.Load())
+	}
+	if elapsed > time.Second {
+		t.Errorf("retrier slept past its 300ms budget: %v", elapsed)
+	}
+}
+
+// TestRetryAfterHonoredWithinBudget: a 429's Retry-After hint replaces the
+// exponential backoff when the budget can cover it.
+func TestRetryAfterHonoredWithinBudget(t *testing.T) {
+	var hits atomic.Int64
+	c := fakeGateway(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			writeVerdict(w, http.StatusTooManyRequests, InferResponse{Reason: reasonQueueFull})
+			return
+		}
+		writeVerdict(w, http.StatusOK, InferResponse{Accepted: true, LatencyMS: 1})
+	})
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Hour}) // backoff must not be used
+	start := time.Now()
+	resp, status, st, err := r.InferRetry(context.Background(), c, InferRequest{Model: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusOK || !resp.Accepted {
+		t.Fatalf("want success after one retry, got %d %+v", status, resp)
+	}
+	if st.Attempts != 2 || st.RetryAfterHonored != 1 {
+		t.Errorf("stats = %+v, want 2 attempts with 1 honored Retry-After", st)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("hour-long base backoff was used despite Retry-After: %v", elapsed)
+	}
+}
+
+// TestRetryAfterExceedingBudgetReturnsThe429: when the server's Retry-After
+// hint alone would blow the SLO budget, the retrier hands the 429 back
+// immediately rather than waiting out a hopeless hint.
+func TestRetryAfterExceedingBudgetReturnsThe429(t *testing.T) {
+	c := fakeGateway(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		writeVerdict(w, http.StatusTooManyRequests, InferResponse{Reason: reasonDeadline})
+	})
+	r := NewRetrier(RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, SLOBudget: 200 * time.Millisecond})
+	start := time.Now()
+	resp, status, st, err := r.InferRetry(context.Background(), c, InferRequest{Model: "x"})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusTooManyRequests || resp.Reason != reasonDeadline {
+		t.Fatalf("want the 429 back, got %d %+v", status, resp)
+	}
+	if st.Attempts != 1 || !st.BudgetExhausted {
+		t.Errorf("stats = %+v, want 1 attempt, budget exhausted", st)
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("slept toward a 30s Retry-After despite a 200ms budget: %v", elapsed)
+	}
+}
+
+// TestRetryTransportErrorResends: a dropped connection (response lost) is
+// retried — safe because the request carries an idempotency key.
+func TestRetryTransportErrorResends(t *testing.T) {
+	var hits atomic.Int64
+	var gotID atomic.Value
+	c := fakeGateway(t, func(w http.ResponseWriter, r *http.Request) {
+		var req InferRequest
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		if hits.Add(1) == 1 {
+			// Kill the connection before any response bytes.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("recorder not hijackable")
+				return
+			}
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		gotID.Store(req.RequestID)
+		if req.Attempt != 1 {
+			t.Errorf("retry attempt = %d, want 1", req.Attempt)
+		}
+		writeVerdict(w, http.StatusOK, InferResponse{Accepted: true})
+	})
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond})
+	resp, status, st, err := r.InferRetry(context.Background(), c, InferRequest{Model: "x"})
+	if err != nil || status != http.StatusOK || !resp.Accepted {
+		t.Fatalf("want success after transport retry, got %d %+v err=%v", status, resp, err)
+	}
+	if st.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", st.Attempts)
+	}
+	if id, _ := gotID.Load().(string); id == "" {
+		t.Error("retried request carried no idempotency key")
+	}
+}
+
+// TestDuplicateSuppression: two requests with the same RequestID — racing
+// in-flight or arriving after completion — execute exactly one query; the
+// second caller gets the same outcome flagged Duplicate.
+func TestDuplicateSuppression(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet152}
+	c := startGateway(t, Config{Models: models, Speedup: 1})
+	req := InferRequest{Model: models[0].String(), Batch: 16, RequestID: "dup-1"}
+
+	var (
+		wg    sync.WaitGroup
+		resps [2]*InferResponse
+		stats [2]int
+		errs  [2]error
+	)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], stats[i], errs[i] = c.Infer(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if stats[i] != http.StatusOK || !resps[i].Accepted {
+			t.Fatalf("request %d: status %d resp %+v", i, stats[i], resps[i])
+		}
+	}
+	if resps[0].FinishMS != resps[1].FinishMS {
+		t.Errorf("duplicates saw different outcomes: %v vs %v", resps[0].FinishMS, resps[1].FinishMS)
+	}
+	if resps[0].Duplicate == resps[1].Duplicate {
+		t.Errorf("exactly one response must be flagged duplicate: %v / %v",
+			resps[0].Duplicate, resps[1].Duplicate)
+	}
+
+	// A late retry of the same ID answers from the completed-outcome cache.
+	resp3, status3, err := c.Infer(context.Background(), req)
+	if err != nil || status3 != http.StatusOK {
+		t.Fatalf("late duplicate: status %d err %v", status3, err)
+	}
+	if !resp3.Duplicate || resp3.FinishMS != resps[0].FinishMS {
+		t.Errorf("late duplicate not served from cache: %+v", resp3)
+	}
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Services[0].Accepted; got != 1 {
+		t.Errorf("gateway accepted %d queries for one RequestID, want 1", got)
+	}
+	if got := st.Services[0].Completed; got != 1 {
+		t.Errorf("completed = %d, want 1", got)
+	}
+	if got := st.Faults.DuplicatesSuppressed; got != 2 {
+		t.Errorf("duplicates_suppressed = %d, want 2", got)
+	}
+}
+
+// TestMalformedBodiesCountedAndRejected: junk bodies and oversized payloads
+// get 400 and bump the malformed counter; they never reach admission.
+func TestMalformedBodiesCountedAndRejected(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet152}
+	c := startGateway(t, Config{Models: models, Speedup: 200, MaxBodyBytes: 256})
+
+	post := func(body string) int {
+		t.Helper()
+		resp, err := http.Post(c.base+"/v1/infer", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Errorf("junk body: status %d, want 400", code)
+	}
+	big := make([]byte, 1024)
+	for i := range big {
+		big[i] = 'a'
+	}
+	if code := post(`{"model":"` + string(big) + `"}`); code != http.StatusBadRequest {
+		t.Errorf("oversized body: status %d, want 400", code)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Faults.Malformed != 2 {
+		t.Errorf("malformed = %d, want 2", st.Faults.Malformed)
+	}
+	if st.Services[0].Accepted != 0 {
+		t.Errorf("malformed requests reached admission: %+v", st.Services[0])
+	}
+}

@@ -6,6 +6,12 @@
 // also exposes /healthz, /statz (JSON per-service outcomes), and /metrics
 // (Prometheus text exposition), and drains gracefully: in-flight queries are
 // answered before the server stops admitting work for good.
+//
+// Robustness features (PR 3): per-request idempotency keys with duplicate
+// suppression, a degraded mode that widens the admission margin when
+// predicted-vs-observed latency diverges (internal/admit), request-body
+// size caps and read timeouts against malformed and slow-loris clients,
+// and fault/retry counters on /statz and /metrics.
 package server
 
 import (
@@ -19,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"abacus/internal/admit"
 	"abacus/internal/core"
 	"abacus/internal/dnn"
 	"abacus/internal/predictor"
@@ -49,6 +56,22 @@ type Config struct {
 	SyncCost float64
 	// DrainTimeout bounds Shutdown's graceful drain (default 10s).
 	DrainTimeout time.Duration
+	// Degrade tunes the degraded-mode controller; the zero value enables it
+	// with defaults, Disabled pins the admission margin at 1.
+	Degrade admit.DegradeConfig
+	// MaxBodyBytes caps the /v1/infer request body (default 1 MiB); larger
+	// bodies are rejected 400 and counted as malformed.
+	MaxBodyBytes int64
+	// ReadHeaderTimeout bounds how long a client may dribble request
+	// headers (default 5s) — the slow-loris guard.
+	ReadHeaderTimeout time.Duration
+	// ReadTimeout bounds reading an entire request including its body
+	// (default 30s). Response writing is unaffected, so paced inference
+	// waits are not.
+	ReadTimeout time.Duration
+	// DedupeWindow is how many completed request IDs the idempotency cache
+	// remembers (default 4096).
+	DedupeWindow int
 }
 
 // Server is the gateway. Construct with New, then Start before serving its
@@ -58,24 +81,69 @@ type Server struct {
 	rt      *core.Runtime
 	bridge  *realtime.Bridge
 	mux     *http.ServeMux
-	admit   *admitter                 // loop-goroutine state
+	admit   *admit.Admitter           // loop-goroutine state
 	pending map[*sched.Query]*pending // loop-goroutine state
+	byID    map[string]*pending       // loop-goroutine state: in-flight idempotency keys
+	recent  *outcomeCache             // loop-goroutine state: completed idempotency keys
 	byName  map[string]int            // model name → service index
 	httpSrv atomic.Pointer[http.Server]
 
 	draining atomic.Bool
+
+	// Fault counters. malformed and retriesSeen are bumped on handler
+	// goroutines before the loop is involved, hence atomics; duplicates is
+	// loop-owned.
+	malformed   atomic.Int64
+	retriesSeen atomic.Int64
+	duplicates  int64 // loop-goroutine state
 
 	mu  sync.Mutex
 	svc []*svcStats
 }
 
 // pending is one admitted query awaiting completion: done closes after the
-// sink's final writes to q, so the handler may read q afterwards.
+// sink's final writes to q, so handlers may read q afterwards. Several
+// handlers may wait on the same pending when duplicate requests attach to
+// one in-flight query.
 type pending struct {
 	q      *sched.Query
-	predMS float64 // admission-time predicted completion latency
+	id     string  // idempotency key, "" when the client sent none
+	predMS float64 // admission-time predicted completion latency (margin-free)
 	workMS float64 // backlog unit released when the query finishes
 	done   chan struct{}
+}
+
+// outcomeCache remembers the most recent completed request IDs so a retry
+// that arrives after its original completed is answered from the cache
+// instead of re-executing.
+type outcomeCache struct {
+	cap   int
+	order []string
+	next  int
+	m     map[string]*pending
+}
+
+func newOutcomeCache(capacity int) *outcomeCache {
+	return &outcomeCache{cap: capacity, m: make(map[string]*pending, capacity)}
+}
+
+func (c *outcomeCache) add(id string, p *pending) {
+	if id == "" {
+		return
+	}
+	if len(c.order) < c.cap {
+		c.order = append(c.order, id)
+	} else {
+		delete(c.m, c.order[c.next])
+		c.order[c.next] = id
+		c.next = (c.next + 1) % c.cap
+	}
+	c.m[id] = p
+}
+
+func (c *outcomeCache) get(id string) (*pending, bool) {
+	p, ok := c.m[id]
+	return p, ok
 }
 
 // svcStats accumulates one service's outcomes (guarded by Server.mu).
@@ -84,6 +152,7 @@ type svcStats struct {
 	rejectedDeadline int64
 	rejectedQueue    int64
 	rejectedDraining int64
+	rejectedDegraded int64
 	completed        int64
 	dropped          int64
 	violated         int64
@@ -134,9 +203,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.ReadHeaderTimeout <= 0 {
+		cfg.ReadHeaderTimeout = 5 * time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 30 * time.Second
+	}
+	if cfg.DedupeWindow <= 0 {
+		cfg.DedupeWindow = 4096
+	}
 	s := &Server{
 		cfg:     cfg,
 		pending: make(map[*sched.Query]*pending),
+		byID:    make(map[string]*pending),
+		recent:  newOutcomeCache(cfg.DedupeWindow),
 		byName:  make(map[string]int),
 	}
 	rt, err := core.New(core.Config{
@@ -160,7 +243,8 @@ func New(cfg Config) (*Server, error) {
 	if syncCost == 0 {
 		syncCost = 0.02
 	}
-	s.admit = newAdmitter(model, rt.Device().Profile(), rt.Services(), cfg.QueueCap, syncCost)
+	s.admit = admit.New(model, rt.Device().Profile(), rt.Services(), cfg.QueueCap, syncCost,
+		admit.NewDegrade(cfg.Degrade))
 	for i, m := range cfg.Models {
 		s.byName[m.String()] = i
 		s.svc = append(s.svc, &svcStats{})
@@ -210,9 +294,15 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // ServeListener serves the gateway on an existing listener (tests bind
-// loopback port 0 and read the address back).
+// loopback port 0 and read the address back). Header and body read
+// timeouts guard against slow-loris clients; response writing — where paced
+// inference waits happen — is unbounded.
 func (s *Server) ServeListener(ln net.Listener) error {
-	srv := &http.Server{Handler: s.mux}
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: s.cfg.ReadHeaderTimeout,
+		ReadTimeout:       s.cfg.ReadTimeout,
+	}
 	s.httpSrv.Store(srv)
 	s.Start()
 	err := srv.Serve(ln)
@@ -244,7 +334,15 @@ func (s *Server) onResult(q *sched.Query) {
 		return
 	}
 	delete(s.pending, q)
-	s.admit.finish(q.Service.ID, p.workMS)
+	if p.id != "" {
+		delete(s.byID, p.id)
+		s.recent.add(p.id, p)
+	}
+	s.admit.Finish(q.Service.ID, p.workMS)
+	// Feed the divergence tracker the margin-free prediction against what
+	// actually happened; drops observe too (a drop is divergence at its
+	// loudest).
+	s.admit.Degrade().Observe(p.predMS, q.Latency())
 
 	s.mu.Lock()
 	st := s.svc[q.Service.ID]
@@ -273,6 +371,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// respondFinished renders a finished (or dropped) pending into resp and
+// writes it.
+func (s *Server) respondFinished(w http.ResponseWriter, resp InferResponse, p *pending) {
+	q := p.q
+	resp.Accepted = true
+	resp.ArrivalMS = q.Arrival
+	resp.FinishMS = q.Finish
+	resp.DeadlineMS = q.Deadline() - q.Arrival
+	resp.PredictedMS = p.predMS
+	if q.Dropped {
+		resp.Dropped = true
+		resp.Reason = "dropped"
+		writeJSON(w, http.StatusGatewayTimeout, resp)
+		return
+	}
+	resp.LatencyMS = q.Latency()
+	resp.Violated = q.Violated()
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // handleInfer admits, submits, and answers one query.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -280,16 +398,22 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req InferRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.malformed.Add(1)
 		writeJSON(w, http.StatusBadRequest, InferResponse{Error: "bad JSON: " + err.Error()})
 		return
 	}
 	svcIdx, in, err := s.validate(&req)
 	if err != nil {
+		s.malformed.Add(1)
 		writeJSON(w, http.StatusBadRequest, InferResponse{
 			Model: req.Model, Batch: req.Batch, SeqLen: req.SeqLen, Error: err.Error(),
 		})
 		return
+	}
+	if req.Attempt > 0 {
+		s.retriesSeen.Add(1)
 	}
 	resp := InferResponse{Model: req.Model, Batch: req.Batch, SeqLen: req.SeqLen}
 	if s.draining.Load() {
@@ -300,36 +424,73 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var d decision
-	var pend *pending
+	var d admit.Decision
+	var pend, dup, cached *pending
 	err = s.bridge.Do(func() {
 		if s.draining.Load() {
-			d = decision{reason: reasonDraining}
+			d = admit.Decision{Reason: reasonDraining}
 			return
 		}
+		if req.RequestID != "" {
+			if p, ok := s.byID[req.RequestID]; ok {
+				dup = p
+				s.duplicates++
+				return
+			}
+			if p, ok := s.recent.get(req.RequestID); ok {
+				cached = p
+				s.duplicates++
+				return
+			}
+		}
 		now := s.rt.Engine().Now()
-		d = s.admit.decide(now, svcIdx, in, req.DeadlineMS)
-		if !d.ok {
+		d = s.admit.Decide(now, svcIdx, in, req.DeadlineMS)
+		if !d.OK {
 			return
 		}
 		q := s.rt.SubmitSLO(svcIdx, in, now, req.DeadlineMS)
-		pend = &pending{q: q, predMS: d.predMS, workMS: d.workMS, done: make(chan struct{})}
+		pend = &pending{
+			q:      q,
+			id:     req.RequestID,
+			predMS: d.PredMS,
+			workMS: d.WorkMS,
+			done:   make(chan struct{}),
+		}
 		s.pending[q] = pend
-		s.admit.admitted(svcIdx, d.workMS)
+		if req.RequestID != "" {
+			s.byID[req.RequestID] = pend
+		}
+		s.admit.Admitted(svcIdx, d.WorkMS)
 	})
-	if err != nil || d.reason == reasonDraining {
+	if err != nil || d.Reason == reasonDraining {
 		s.countReject(svcIdx, reasonDraining)
 		resp.Reason = reasonDraining
 		resp.Error = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	if !d.ok {
-		s.countReject(svcIdx, d.reason)
-		resp.Reason = d.reason
-		resp.PredictedMS = d.predMS
-		resp.RetryAfterMS = d.retryMS
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(d.retryMS)))
+	if cached != nil {
+		resp.Duplicate = true
+		s.respondFinished(w, resp, cached)
+		return
+	}
+	if dup != nil {
+		resp.Duplicate = true
+		select {
+		case <-dup.done:
+		case <-r.Context().Done():
+			return
+		}
+		s.respondFinished(w, resp, dup)
+		return
+	}
+	if !d.OK {
+		s.countReject(svcIdx, d.Reason)
+		resp.Reason = d.Reason
+		resp.PredictedMS = d.PredMS
+		resp.RetryAfterMS = d.RetryMS
+		resp.Degraded = d.Degraded
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(d.RetryMS)))
 		writeJSON(w, http.StatusTooManyRequests, resp)
 		return
 	}
@@ -344,21 +505,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		// Caller went away; the query still completes and is accounted.
 		return
 	}
-	q := pend.q
-	resp.Accepted = true
-	resp.ArrivalMS = q.Arrival
-	resp.FinishMS = q.Finish
-	resp.DeadlineMS = q.Deadline() - q.Arrival
-	resp.PredictedMS = pend.predMS
-	if q.Dropped {
-		resp.Dropped = true
-		resp.Reason = "dropped"
-		writeJSON(w, http.StatusGatewayTimeout, resp)
-		return
-	}
-	resp.LatencyMS = q.Latency()
-	resp.Violated = q.Violated()
-	writeJSON(w, http.StatusOK, resp)
+	resp.Degraded = d.Degraded
+	s.respondFinished(w, resp, pend)
 }
 
 // validate resolves the request onto a deployed service and checks the
@@ -392,6 +540,9 @@ func (s *Server) validate(req *InferRequest) (int, dnn.Input, error) {
 	if req.DeadlineMS < 0 {
 		return 0, dnn.Input{}, fmt.Errorf("negative deadline %v", req.DeadlineMS)
 	}
+	if req.Attempt < 0 {
+		return 0, dnn.Input{}, fmt.Errorf("negative attempt %d", req.Attempt)
+	}
 	return idx, in, nil
 }
 
@@ -404,6 +555,8 @@ func (s *Server) countReject(svc int, reason string) {
 		st.rejectedDeadline++
 	case reasonQueueFull:
 		st.rejectedQueue++
+	case reasonDegraded:
+		st.rejectedDegraded++
 	default:
 		st.rejectedDraining++
 	}
@@ -427,11 +580,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // Statz is the /statz payload.
 type Statz struct {
-	NowMS         float64        `json:"now_ms"` // virtual clock
-	Speedup       float64        `json:"speedup"`
-	Draining      bool           `json:"draining"`
-	BacklogPredMS float64        `json:"backlog_pred_ms"`
-	Services      []ServiceStatz `json:"services"`
+	NowMS         float64 `json:"now_ms"` // virtual clock
+	Speedup       float64 `json:"speedup"`
+	Draining      bool    `json:"draining"`
+	BacklogPredMS float64 `json:"backlog_pred_ms"`
+	// Degrade reports the divergence tracker: whether the gateway currently
+	// widens its admission margin, how often it has flipped, and the
+	// observed/predicted latency EWMA it acts on.
+	Degrade admit.Status `json:"degrade"`
+	// Faults are gateway-wide fault counters.
+	Faults   FaultStatz     `json:"faults"`
+	Services []ServiceStatz `json:"services"`
+}
+
+// FaultStatz counts the faults the gateway has absorbed.
+type FaultStatz struct {
+	Malformed            int64 `json:"malformed"`
+	DuplicatesSuppressed int64 `json:"duplicates_suppressed"`
+	RetriesSeen          int64 `json:"retries_seen"`
 }
 
 // ServiceStatz is one service's /statz entry.
@@ -443,6 +609,7 @@ type ServiceStatz struct {
 	RejectedDeadline int64   `json:"rejected_deadline"`
 	RejectedQueue    int64   `json:"rejected_queue"`
 	RejectedDraining int64   `json:"rejected_draining"`
+	RejectedDegraded int64   `json:"rejected_degraded"`
 	Completed        int64   `json:"completed"`
 	Dropped          int64   `json:"dropped"`
 	Violated         int64   `json:"violated"`
@@ -453,14 +620,19 @@ type ServiceStatz struct {
 	GoodputQPS       float64 `json:"goodput_qps"` // virtual-time basis
 }
 
-// statz snapshots the gateway state. Queue depths and predicted backlog come
-// from the loop goroutine when the bridge still runs, zero afterwards.
+// statz snapshots the gateway state. Queue depths, predicted backlog, and
+// degrade state come from the loop goroutine when the bridge still runs,
+// zero afterwards.
 func (s *Server) statz() Statz {
 	depths := make([]int, len(s.svc))
 	backlog := 0.0
+	var degrade admit.Status
+	var duplicates int64
 	_ = s.bridge.Do(func() {
-		copy(depths, s.admit.outstanding)
-		backlog = s.admit.backlogMS
+		s.admit.CopyOutstanding(depths)
+		backlog = s.admit.BacklogMS()
+		degrade = s.admit.Degrade().Snapshot()
+		duplicates = s.duplicates
 	})
 	now := s.bridge.Now()
 
@@ -469,6 +641,12 @@ func (s *Server) statz() Statz {
 		Speedup:       s.cfg.Speedup,
 		Draining:      s.draining.Load(),
 		BacklogPredMS: backlog,
+		Degrade:       degrade,
+		Faults: FaultStatz{
+			Malformed:            s.malformed.Load(),
+			DuplicatesSuppressed: duplicates,
+			RetriesSeen:          s.retriesSeen.Load(),
+		},
 	}
 	services := s.rt.Services()
 	s.mu.Lock()
@@ -482,6 +660,7 @@ func (s *Server) statz() Statz {
 			RejectedDeadline: st.rejectedDeadline,
 			RejectedQueue:    st.rejectedQueue,
 			RejectedDraining: st.rejectedDraining,
+			RejectedDegraded: st.rejectedDegraded,
 			Completed:        st.completed,
 			Dropped:          st.dropped,
 			Violated:         st.violated,
