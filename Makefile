@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json chaos ci
+.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json chaos trend ci
 
 all: build
 
@@ -52,6 +52,21 @@ bench:
 # counters plus a wall-clock figure, uploaded from CI as an artifact.
 bench-json:
 	$(GO) run ./cmd/abacus-chaos -bench -json -o BENCH_gateway.json
+
+# Bench-trend check: rebuild the benchmark artifact at TREND_BASE (default
+# origin/main) in a throwaway worktree, then diff the deterministic counters
+# against the working tree's artifact. Fails on a dropped scenario, a
+# goodput drop, or p99 growth beyond the abacus-trend tolerances.
+TREND_BASE ?= origin/main
+
+trend: bench-json
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'git worktree remove --force "$$tmp" 2>/dev/null || rm -rf "$$tmp"' EXIT; \
+	git worktree add --detach "$$tmp" $(TREND_BASE) >/dev/null; \
+	(cd "$$tmp" && $(GO) run ./cmd/abacus-chaos -o BENCH_base.json >/dev/null); \
+	mv "$$tmp/BENCH_base.json" BENCH_base.json; \
+	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json
 
 # Run the built-in fault suite and hold the recovery scenarios to their QoS
 # floor (the throttle50 baseline intentionally fails it, so the floor is

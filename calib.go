@@ -1,0 +1,57 @@
+package abacus
+
+import (
+	"net/http"
+
+	"abacus/internal/calib"
+	"abacus/internal/server"
+)
+
+// Online latency-model calibration (see internal/calib): every completed
+// query feeds a per-service feedback tracker, and an affine correction fit
+// online maps raw predictions onto observed latencies. The facade re-exports
+// the tracker and its wrapper so embedders can close the loop around any
+// LatencyModel without importing internal packages:
+//
+//	tr := abacus.NewCalibrationTracker(abacus.CalibrationConfig{Seed: 1},
+//		[]abacus.Model{abacus.ResNet152, abacus.InceptionV3})
+//	model := abacus.NewCalibratedModel(inner, tr)
+//	// ... predict through model, feed completions back:
+//	tr.ObserveAdmission(svc, soloMS, backlogMS, observedMS)
+//
+// The gateway enables the same loop internally via GatewayConfig.Calib.
+type (
+	// CalibrationConfig tunes the online calibration tracker; the zero value
+	// takes the defaults (256-sample reservoirs, damped affine updates).
+	CalibrationConfig = calib.Config
+	// CalibrationTracker accumulates per-service feedback and fits the
+	// affine corrections.
+	CalibrationTracker = calib.Tracker
+	// CalibratedModel is a LatencyModel whose predictions pass through a
+	// tracker's per-service corrections.
+	CalibratedModel = calib.Calibrated
+	// CalibrationStatus is the tracker state exposed on /statz.
+	CalibrationStatus = calib.Status
+	// LossyTransport is an http.RoundTripper that drops inference traffic
+	// with a seeded probability — the load generator's fault path for
+	// exercising the retry and idempotency layers.
+	LossyTransport = server.LossyTransport
+)
+
+// NewCalibrationTracker builds a tracker for the given co-located services.
+// It panics on an invalid configuration, mirroring the internal constructor.
+func NewCalibrationTracker(cfg CalibrationConfig, models []Model) *CalibrationTracker {
+	return calib.NewTracker(cfg, models)
+}
+
+// NewCalibratedModel wraps inner so every prediction passes through the
+// tracker's current per-service corrections.
+func NewCalibratedModel(inner LatencyModel, tr *CalibrationTracker) *CalibratedModel {
+	return calib.NewCalibrated(inner, tr)
+}
+
+// NewLossyTransport wraps inner (nil = http.DefaultTransport) with a seeded
+// drop probability in [0, 1] applied to /v1/infer traffic only.
+func NewLossyTransport(inner http.RoundTripper, dropProb float64, seed int64) *LossyTransport {
+	return server.NewLossyTransport(inner, dropProb, seed)
+}

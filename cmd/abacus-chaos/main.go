@@ -141,16 +141,8 @@ func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float6
 	return chaos.Scenarios(), nil
 }
 
-// benchArtifact is the BENCH_gateway.json shape CI uploads.
-type benchArtifact struct {
-	// WallSeconds is the only wall-clock field; everything under Reports is
-	// deterministic.
-	WallSeconds float64         `json:"wall_seconds,omitempty"`
-	Reports     []*chaos.Report `json:"reports"`
-}
-
 func writeArtifact(path string, reports []*chaos.Report, bench bool, wallSeconds float64) error {
-	art := benchArtifact{Reports: reports}
+	art := chaos.Artifact{Reports: reports}
 	if bench {
 		art.WallSeconds = wallSeconds
 	}

@@ -33,6 +33,8 @@ func main() {
 	queueCap := flag.Int("queue-cap", 64, "admitted-but-unfinished queries per service before shedding")
 	qosFactor := flag.Float64("qos-factor", 2, "QoS target as a multiple of max-input solo latency")
 	predictorFile := flag.String("predictor", "", "trained predictor JSON (see abacus-train -model-out; default: exact oracle)")
+	calibrate := flag.Bool("calibrate", false, "enable online latency-model calibration (per-service feedback-corrected predictions on /statz)")
+	calibSeed := flag.Int64("calib-seed", 1, "seed for the calibration feedback reservoirs")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on shutdown")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -64,6 +66,9 @@ func main() {
 		}
 		cfg.Model = p
 	}
+	if *calibrate {
+		cfg.Calib = &abacus.CalibrationConfig{Seed: *calibSeed}
+	}
 
 	gw, err := abacus.NewGateway(cfg)
 	if err != nil {
@@ -73,8 +78,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("abacus-gateway serving %v on http://%s (speedup %g, queue cap %d)\n",
-		models, ln.Addr(), *speedup, *queueCap)
+	calNote := ""
+	if *calibrate {
+		calNote = ", calibrating"
+	}
+	fmt.Printf("abacus-gateway serving %v on http://%s (speedup %g, queue cap %d%s)\n",
+		models, ln.Addr(), *speedup, *queueCap, calNote)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
 	"os"
 	"time"
 
@@ -40,6 +41,9 @@ func main() {
 	concurrency := flag.Int("concurrency", 4, "closed-loop in-flight requesters")
 	requests := flag.Int("requests", 0, "closed-loop total requests (0: schedule length)")
 	noCompare := flag.Bool("no-compare", false, "skip the offline simulator comparison")
+	drop := flag.Float64("drop", 0, "probability each inference request or its response is lost in transit (exercises the retry path)")
+	dropSeed := flag.Int64("drop-seed", 1, "seed for the lossy-transport drop coins")
+	retries := flag.Int("retries", 0, "max attempts per request through the retry layer (0: 3 when -drop is set, else none)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -48,7 +52,16 @@ func main() {
 	}
 
 	ctx := context.Background()
-	client := server.NewClient(*target, nil)
+	var lossy *server.LossyTransport
+	var hc *http.Client
+	if *drop > 0 {
+		if *drop > 1 {
+			fail(fmt.Errorf("-drop %g outside [0, 1]", *drop))
+		}
+		lossy = server.NewLossyTransport(nil, *drop, *dropSeed)
+		hc = &http.Client{Transport: lossy}
+	}
+	client := server.NewClient(*target, hc)
 	if err := client.WaitReady(ctx, 5*time.Second); err != nil {
 		fail(err)
 	}
@@ -90,6 +103,14 @@ func main() {
 			len(arrivals), *qps, *seconds, *seed)
 	}
 
+	maxAttempts := *retries
+	if maxAttempts <= 0 && *drop > 0 {
+		maxAttempts = 3
+	}
+	var retry *server.RetryPolicy
+	if maxAttempts > 1 {
+		retry = &server.RetryPolicy{MaxAttempts: maxAttempts, JitterSeed: *dropSeed}
+	}
 	res, err := server.RunLoad(ctx, server.LoadConfig{
 		Client:      client,
 		Models:      models,
@@ -99,6 +120,7 @@ func main() {
 		Closed:      *closed,
 		Concurrency: *concurrency,
 		Requests:    *requests,
+		Retry:       retry,
 	})
 	if err != nil {
 		fail(err)
@@ -109,6 +131,10 @@ func main() {
 	}
 	printStats("TOTAL", &res.Total)
 	fmt.Printf("[%d requests in %.1fs wall]\n", res.Total.Sent, res.WallSeconds)
+	if lossy != nil {
+		fmt.Printf("lossy transport: dropped %d before send, %d after send; %d retries, %d duplicates suppressed\n",
+			lossy.DroppedBeforeSend(), lossy.DroppedAfterSend(), res.Total.Retries, res.Total.Duplicates)
+	}
 
 	if !*noCompare && !*closed && res.Total.Completed > 0 {
 		offline := server.OfflineBaseline(models, qos, arrivals, nil)

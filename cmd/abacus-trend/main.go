@@ -1,0 +1,68 @@
+// Command abacus-trend diffs two gateway benchmark artifacts
+// (BENCH_gateway.json, see abacus-chaos -o) and exits nonzero on a
+// regression: a scenario dropped from the suite, goodput down more than the
+// tolerance, or p99 up more than the tolerance. Every compared field is
+// deterministic, so the check is exact — no noise bands.
+//
+// Usage:
+//
+//	abacus-trend -base BENCH_base.json -head BENCH_gateway.json
+//	abacus-trend -base old.json -head new.json -max-goodput-drop 0.01 -max-p99-growth 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abacus/internal/chaos"
+	"abacus/internal/cli"
+)
+
+var fail = cli.Failer("abacus-trend")
+
+func main() {
+	basePath := flag.String("base", "", "baseline artifact (required)")
+	headPath := flag.String("head", "BENCH_gateway.json", "candidate artifact")
+	maxGoodputDrop := flag.Float64("max-goodput-drop", 0, "largest tolerated absolute goodput decrease (default 0.005)")
+	maxP99Growth := flag.Float64("max-p99-growth", 0, "largest tolerated relative p99 increase (default 0.10)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
+	if *basePath == "" {
+		fail(fmt.Errorf("-base is required"))
+	}
+
+	base := readArtifact(*basePath)
+	head := readArtifact(*headPath)
+	issues := chaos.CompareTrend(base, head, chaos.TrendOptions{
+		MaxGoodputDrop: *maxGoodputDrop,
+		MaxP99Growth:   *maxP99Growth,
+	})
+
+	fmt.Printf("compared %d base scenarios against %d head scenarios\n",
+		len(base.Reports), len(head.Reports))
+	if len(issues) == 0 {
+		fmt.Println("trend clean: no regressions")
+		return
+	}
+	for _, issue := range issues {
+		fmt.Fprintf(os.Stderr, "abacus-trend: %s\n", issue)
+	}
+	os.Exit(1)
+}
+
+func readArtifact(path string) chaos.Artifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	a, err := chaos.ParseArtifact(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return a
+}

@@ -78,7 +78,11 @@ func New(model predictor.LatencyModel, profile gpusim.Profile, services []*sched
 		panic(fmt.Sprintf("admit: queue cap %d must be positive", queueCap))
 	}
 	if degrade == nil {
-		degrade = NewDegrade(DegradeConfig{Disabled: true})
+		degrade = NewDegrade(DegradeConfig{Disabled: true}, len(services))
+	}
+	if degrade.NumServices() != len(services) {
+		panic(fmt.Sprintf("admit: degrade tracks %d services, deployment has %d",
+			degrade.NumServices(), len(services)))
 	}
 	return &Admitter{
 		model:       model,
@@ -145,7 +149,7 @@ func (a *Admitter) Decide(now sim.Time, service int, in dnn.Input, sloMS float64
 	}
 	solo := a.SoloPred(service, in)
 	predMS := a.backlogMS + solo // arrival-relative predicted completion
-	margin := a.degrade.Margin()
+	margin := a.degrade.Margin(service)
 	adjMS := predMS * margin
 	d := Decision{PredMS: predMS, AdjustedMS: adjMS, WorkMS: solo, Degraded: margin > 1}
 	if a.outstanding[service] >= a.queueCap {
@@ -158,7 +162,7 @@ func (a *Admitter) Decide(now sim.Time, service int, in dnn.Input, sloMS float64
 			// Only the widened margin rejects it: this is degraded-mode
 			// load shedding, not a hopeless deadline.
 			d.Reason = ReasonDegraded
-			a.degrade.shed++
+			a.degrade.noteShed(service)
 		} else {
 			d.Reason = ReasonDeadline
 		}

@@ -7,9 +7,16 @@
 // — and, when divergence is sustained, enters degraded mode: the admission
 // margin widens to the observed ratio (plus headroom), so the gateway sheds
 // the load the substrate can no longer carry while the queries it still
-// admits keep meeting their deadlines. Hysteresis (enter above one
-// threshold, exit below a lower one) keeps the mode from flapping at the
-// boundary.
+// admits keep meeting their deadlines. Hysteresis (enter at or above one
+// threshold, exit strictly below a lower one) keeps the mode from flapping
+// at the boundary.
+//
+// Divergence is tracked per service: a mistrained predictor usually wrongs
+// one model, not the deployment, and a single global EWMA would let one
+// drifting service widen the margin for — and shed load from — its healthy
+// co-located neighbours. Each service carries its own EWMA, hysteresis
+// state, and margin; the aggregate Snapshot remains for dashboards that
+// want one number.
 package admit
 
 import "fmt"
@@ -18,7 +25,7 @@ import "fmt"
 // the controller with the defaults below; set Disabled for a PR-2-style
 // gateway that never widens its margin.
 type DegradeConfig struct {
-	// Disabled pins the margin at 1 and ignores observations.
+	// Disabled pins every margin at 1 and ignores observations.
 	Disabled bool
 	// Alpha is the EWMA smoothing factor in (0, 1] (default 0.3): higher
 	// reacts faster, lower rides out single-query noise.
@@ -26,11 +33,13 @@ type DegradeConfig struct {
 	// EnterRatio is the sustained observed/predicted ratio that triggers
 	// degraded mode (default 1.3).
 	EnterRatio float64
-	// ExitRatio is the ratio below which degraded mode ends (default 1.1);
-	// it must not exceed EnterRatio.
+	// ExitRatio is the ratio strictly below which degraded mode ends
+	// (default 1.1); it must not exceed EnterRatio. The exit comparison is
+	// strict so that a divergence pinned exactly at EnterRatio==ExitRatio
+	// cannot oscillate between states on alternating samples.
 	ExitRatio float64
-	// MinSamples is the number of completions observed before the
-	// controller may act (default 5).
+	// MinSamples is the number of completions a service must report before
+	// its controller may act (default 5).
 	MinSamples int
 	// MarginHeadroom multiplies the observed divergence when deriving the
 	// admission margin (default 1.15), buying slack for divergence still
@@ -81,10 +90,8 @@ func (c DegradeConfig) validate() error {
 	return nil
 }
 
-// Degrade tracks predicted-vs-observed divergence. Like the Admitter it is
-// single-goroutine state; snapshot it from the owning loop.
-type Degrade struct {
-	cfg         DegradeConfig
+// svcDivergence is one service's divergence-tracking state.
+type svcDivergence struct {
 	ewma        float64 // observed/predicted completion-latency ratio
 	samples     int64
 	active      bool
@@ -92,51 +99,71 @@ type Degrade struct {
 	shed        int64 // degraded-mode admission rejections (see Decide)
 }
 
-// NewDegrade builds the controller; it panics on an invalid configuration
-// (configs come from code or validated flags, so an invalid one is a
-// programming error).
-func NewDegrade(cfg DegradeConfig) *Degrade {
+// Degrade tracks predicted-vs-observed divergence per service. Like the
+// Admitter it is single-goroutine state; snapshot it from the owning loop.
+type Degrade struct {
+	cfg  DegradeConfig
+	svcs []*svcDivergence
+}
+
+// NewDegrade builds a controller over numServices services; it panics on an
+// invalid configuration or a non-positive service count (both come from
+// code or validated flags, so either is a programming error).
+func NewDegrade(cfg DegradeConfig, numServices int) *Degrade {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	return &Degrade{cfg: cfg}
+	if numServices < 1 {
+		panic(fmt.Sprintf("admit: degrade over %d services", numServices))
+	}
+	d := &Degrade{cfg: cfg, svcs: make([]*svcDivergence, numServices)}
+	for i := range d.svcs {
+		d.svcs[i] = &svcDivergence{}
+	}
+	return d
 }
 
+// NumServices returns how many services the controller tracks.
+func (d *Degrade) NumServices() int { return len(d.svcs) }
+
 // Observe feeds one finished query's predicted and observed completion
-// latency (both arrival-relative, margin-free). Non-positive predictions
-// are ignored.
-func (d *Degrade) Observe(predictedMS, observedMS float64) {
+// latency (both arrival-relative, margin-free) for its service.
+// Non-positive predictions are ignored.
+func (d *Degrade) Observe(service int, predictedMS, observedMS float64) {
 	if d.cfg.Disabled || predictedMS <= 0 || observedMS < 0 {
 		return
 	}
+	s := d.svcs[service]
 	ratio := observedMS / predictedMS
-	if d.samples == 0 {
-		d.ewma = ratio
+	if s.samples == 0 {
+		s.ewma = ratio
 	} else {
-		d.ewma = d.cfg.Alpha*ratio + (1-d.cfg.Alpha)*d.ewma
+		s.ewma = d.cfg.Alpha*ratio + (1-d.cfg.Alpha)*s.ewma
 	}
-	d.samples++
-	if d.samples < int64(d.cfg.MinSamples) {
+	s.samples++
+	if s.samples < int64(d.cfg.MinSamples) {
 		return
 	}
 	switch {
-	case !d.active && d.ewma >= d.cfg.EnterRatio:
-		d.active = true
-		d.transitions++
-	case d.active && d.ewma <= d.cfg.ExitRatio:
-		d.active = false
-		d.transitions++
+	case !s.active && s.ewma >= d.cfg.EnterRatio:
+		s.active = true
+		s.transitions++
+	case s.active && s.ewma < d.cfg.ExitRatio:
+		s.active = false
+		s.transitions++
 	}
 }
 
-// Margin returns the admission safety margin: 1 while healthy, the smoothed
-// divergence ratio times the configured headroom (capped) while degraded.
-func (d *Degrade) Margin() float64 {
-	if !d.active {
+// Margin returns one service's admission safety margin: 1 while healthy,
+// the smoothed divergence ratio times the configured headroom (capped)
+// while degraded.
+func (d *Degrade) Margin(service int) float64 {
+	s := d.svcs[service]
+	if !s.active {
 		return 1
 	}
-	m := d.ewma * d.cfg.MarginHeadroom
+	m := s.ewma * d.cfg.MarginHeadroom
 	if m > d.cfg.MaxMargin {
 		m = d.cfg.MaxMargin
 	}
@@ -146,11 +173,25 @@ func (d *Degrade) Margin() float64 {
 	return m
 }
 
-// Active reports whether degraded mode is currently engaged.
-func (d *Degrade) Active() bool { return d.active }
+// Active reports whether one service is currently in degraded mode.
+func (d *Degrade) Active(service int) bool { return d.svcs[service].active }
 
-// Status is a point-in-time snapshot of the controller for /statz, metrics,
-// and chaos reports.
+// AnyActive reports whether any service is currently in degraded mode.
+func (d *Degrade) AnyActive() bool {
+	for _, s := range d.svcs {
+		if s.active {
+			return true
+		}
+	}
+	return false
+}
+
+// noteShed records one degraded-mode rejection against a service.
+func (d *Degrade) noteShed(service int) { d.svcs[service].shed++ }
+
+// Status is an aggregate point-in-time snapshot of the controller for
+// /statz, metrics, and chaos reports: any-active, the widest margin and
+// divergence in force, and deployment-wide sums.
 type Status struct {
 	Active      bool    `json:"active"`
 	Transitions int64   `json:"transitions"`
@@ -160,14 +201,52 @@ type Status struct {
 	Shed        int64   `json:"shed"`
 }
 
-// Snapshot returns the controller's current state.
+// ServiceStatus is one service's divergence state.
+type ServiceStatus struct {
+	Service     int     `json:"service"`
+	Active      bool    `json:"active"`
+	Transitions int64   `json:"transitions"`
+	Divergence  float64 `json:"divergence_ewma"`
+	Margin      float64 `json:"margin"`
+	Samples     int64   `json:"samples"`
+	Shed        int64   `json:"shed"`
+}
+
+// Snapshot returns the aggregate controller state across services.
 func (d *Degrade) Snapshot() Status {
-	return Status{
-		Active:      d.active,
-		Transitions: d.transitions,
-		Divergence:  d.ewma,
-		Margin:      d.Margin(),
-		Samples:     d.samples,
-		Shed:        d.shed,
+	var st Status
+	for i, s := range d.svcs {
+		st.Active = st.Active || s.active
+		st.Transitions += s.transitions
+		st.Samples += s.samples
+		st.Shed += s.shed
+		if s.ewma > st.Divergence {
+			st.Divergence = s.ewma
+		}
+		if m := d.Margin(i); m > st.Margin {
+			st.Margin = m
+		}
 	}
+	if len(d.svcs) > 0 && st.Margin < 1 {
+		st.Margin = 1
+	}
+	return st
+}
+
+// ServiceSnapshots returns every service's divergence state in service
+// order.
+func (d *Degrade) ServiceSnapshots() []ServiceStatus {
+	out := make([]ServiceStatus, len(d.svcs))
+	for i, s := range d.svcs {
+		out[i] = ServiceStatus{
+			Service:     i,
+			Active:      s.active,
+			Transitions: s.transitions,
+			Divergence:  s.ewma,
+			Margin:      d.Margin(i),
+			Samples:     s.samples,
+			Shed:        s.shed,
+		}
+	}
+	return out
 }

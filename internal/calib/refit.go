@@ -1,0 +1,42 @@
+// Optional periodic mini-refit: every RefitEvery samples a service's whole
+// reservoir window is refit through internal/ml's ridge regression instead
+// of the last small batch. The reservoir spans a longer horizon than one
+// batch, so the refit smooths over bursty residuals; because its pairs were
+// recorded against the corrections in force at their admission, the fit is
+// treated as one more damped residual step, which is exact once calibration
+// has converged and conservative while it is still moving.
+package calib
+
+import "abacus/internal/ml"
+
+// refitMinWindow is the smallest reservoir a mini-refit will trust.
+const refitMinWindow = 8
+
+// refit fits observed ≈ a·x + b over the service's reservoir with ridge
+// regression and composes the result like a closed-form batch update. It
+// reports whether the correction moved.
+func (t *Tracker) refit(service int) bool {
+	s := t.svcs[service]
+	if s.res.len() < refitMinWindow {
+		return false
+	}
+	ds := ml.Dataset{
+		X: make([][]float64, s.res.len()),
+		Y: append([]float64(nil), s.res.ys...),
+	}
+	for i, x := range s.res.xs {
+		ds.X[i] = []float64{x}
+	}
+	lr := ml.LinearRegression{Ridge: 1e-6}
+	if err := lr.Fit(ds); err != nil {
+		return false
+	}
+	// Recover the affine map from two evaluations (the regression is linear
+	// in its single feature).
+	b := lr.Predict([]float64{0})
+	a := lr.Predict([]float64{1}) - b
+	if a <= 0 {
+		return false
+	}
+	return t.compose(service, a, b)
+}

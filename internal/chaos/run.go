@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"abacus/internal/admit"
+	"abacus/internal/calib"
 	"abacus/internal/core"
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
@@ -71,6 +72,11 @@ type Scenario struct {
 	// Degrade tunes the degraded-mode controller (zero value = enabled with
 	// defaults; Disabled for the no-recovery baseline).
 	Degrade admit.DegradeConfig
+	// Calib, when non-nil, enables online latency-model calibration: the
+	// scheduler and admission predict through a calib.Calibrated chain and
+	// every completion feeds the tracker. Nil leaves calibration off, so the
+	// pre-calibration scenario floors are untouched.
+	Calib *calib.Config
 	// Retry, when non-nil, gives the virtual client retry behavior.
 	Retry *RetryConfig
 }
@@ -111,6 +117,36 @@ type Report struct {
 	// Goodput is the deadline-met rate among admitted queries — the QoS
 	// floor chaos scenarios assert.
 	Goodput float64 `json:"goodput"`
+
+	// Calibrated reports whether online calibration was active for the run.
+	Calibrated bool `json:"calibrated"`
+	// Services breaks the outcome down per co-located service, in service
+	// order: each carries its own admission, drift, and calibration state so
+	// scenarios can assert that one service's fault did not bleed into its
+	// neighbours.
+	Services []ServiceReport `json:"services"`
+}
+
+// ServiceReport is one service's slice of a chaos report.
+type ServiceReport struct {
+	Service int    `json:"service"`
+	Model   string `json:"model"`
+
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Good      int64 `json:"good"`
+	Violated  int64 `json:"violated"`
+	Dropped   int64 `json:"dropped"`
+
+	RejectedDegraded   int64   `json:"rejected_degraded"`
+	DegradeActive      bool    `json:"degrade_active"`
+	DegradeTransitions int64   `json:"degrade_transitions"`
+	Divergence         float64 `json:"divergence_ewma"`
+	Margin             float64 `json:"margin"`
+
+	CalibSlope       float64 `json:"calib_slope"`
+	CalibInterceptMS float64 `json:"calib_intercept_ms"`
+	CalibSamples     int64   `json:"calib_samples"`
 }
 
 // request is one virtual client's state across attempts.
@@ -135,6 +171,7 @@ type harness struct {
 	rt      *core.Runtime
 	adm     *admit.Admitter
 	perturb *predictor.Perturbed
+	tracker *calib.Tracker // nil when calibration is off
 	pending map[*sched.Query]*pend
 	rep     *Report
 	lats    []float64
@@ -178,10 +215,21 @@ func Run(sc Scenario) (*Report, error) {
 
 	profile := gpuProfile()
 	h.perturb = predictor.NewPerturbed(predictor.Oracle{Profile: profile}, 1, 0, sc.Seed)
+	var model predictor.LatencyModel = h.perturb
+	if sc.Calib != nil {
+		cc := *sc.Calib
+		// Correction updates move the admitter's memoized solo predictions;
+		// drop them so the next verdict sees the corrected model. h.adm is
+		// assigned below, before any feedback can arrive.
+		cc.OnUpdate = func(int) { h.adm.InvalidateCache() }
+		h.tracker = calib.NewTracker(cc, sc.Models)
+		model = calib.NewCalibrated(h.perturb, h.tracker)
+		h.rep.Calibrated = h.tracker.Enabled()
+	}
 	rt, err := core.New(core.Config{
 		Models:    sc.Models,
 		QoSFactor: sc.QoSFactor,
-		Model:     h.perturb,
+		Model:     model,
 		Profile:   profile,
 		OnResult:  h.onResult,
 	})
@@ -189,7 +237,12 @@ func Run(sc Scenario) (*Report, error) {
 		return nil, err
 	}
 	h.rt = rt
-	h.adm = admit.New(h.perturb, profile, rt.Services(), sc.QueueCap, 0.02, admit.NewDegrade(sc.Degrade))
+	h.adm = admit.New(model, profile, rt.Services(), sc.QueueCap, 0.02,
+		admit.NewDegrade(sc.Degrade, len(rt.Services())))
+	h.rep.Services = make([]ServiceReport, len(rt.Services()))
+	for i, svc := range rt.Services() {
+		h.rep.Services[i] = ServiceReport{Service: i, Model: svc.Model.String(), CalibSlope: 1}
+	}
 
 	eng := rt.Engine()
 	// Fault windows first, so a window opening at t applies before any
@@ -211,6 +264,22 @@ func Run(sc Scenario) (*Report, error) {
 	h.rep.DegradeTransitions = st.Transitions
 	h.rep.DegradeShed = st.Shed
 	h.rep.FinalDivergence = st.Divergence
+	for i, ds := range h.adm.Degrade().ServiceSnapshots() {
+		sr := &h.rep.Services[i]
+		sr.RejectedDegraded = ds.Shed
+		sr.DegradeActive = ds.Active
+		sr.DegradeTransitions = ds.Transitions
+		sr.Divergence = ds.Divergence
+		sr.Margin = ds.Margin
+	}
+	if h.tracker != nil {
+		for i, cs := range h.tracker.Snapshot().Services {
+			sr := &h.rep.Services[i]
+			sr.CalibSlope = cs.Slope
+			sr.CalibInterceptMS = cs.Intercept
+			sr.CalibSamples = cs.Samples
+		}
+	}
 	if len(h.lats) > 0 {
 		ps := stats.Percentiles(h.lats, 50, 99)
 		h.rep.P50MS, h.rep.P99MS = ps[0], ps[1]
@@ -240,6 +309,22 @@ func (h *harness) scheduleWindow(w Window) {
 		eng.ScheduleAt(sim.Time(w.Start), func() { dev.SetLaunchStall(w.Magnitude) })
 		eng.ScheduleAt(sim.Time(w.End), func() { dev.SetLaunchStall(0) })
 	case KindPredictorBias:
+		if w.Model != "" {
+			// Validated by Script.Validate, so the name resolves.
+			id, err := dnn.ModelIDByName(w.Model)
+			if err != nil {
+				panic(err)
+			}
+			eng.ScheduleAt(sim.Time(w.Start), func() {
+				h.perturb.SetModelBias(id, w.Magnitude)
+				h.adm.InvalidateCache()
+			})
+			eng.ScheduleAt(sim.Time(w.End), func() {
+				h.perturb.SetModelBias(id, 1)
+				h.adm.InvalidateCache()
+			})
+			break
+		}
 		eng.ScheduleAt(sim.Time(w.Start), func() {
 			h.perturb.SetBias(w.Magnitude)
 			h.adm.InvalidateCache()
@@ -305,6 +390,7 @@ func (h *harness) attempt(r *request, now sim.Time) {
 	}
 
 	h.rep.Admitted++
+	h.rep.Services[r.svc].Admitted++
 	h.adm.Admitted(r.svc, d.WorkMS)
 	q := h.rt.SubmitSLO(r.svc, r.in, now, sloMS)
 	h.pending[q] = &pend{predMS: d.PredMS, workMS: d.WorkMS}
@@ -354,18 +440,27 @@ func (h *harness) onResult(q *sched.Query) {
 		return
 	}
 	delete(h.pending, q)
-	h.adm.Finish(q.Service.ID, p.workMS)
-	h.adm.Degrade().Observe(p.predMS, q.Latency())
+	svc := q.Service.ID
+	sr := &h.rep.Services[svc]
+	h.adm.Finish(svc, p.workMS)
+	h.adm.Degrade().Observe(svc, p.predMS, q.Latency())
+	if h.tracker != nil {
+		h.tracker.ObserveAdmission(svc, p.workMS, p.predMS-p.workMS, q.Latency())
+	}
 	if q.Dropped {
 		h.rep.Dropped++
+		sr.Dropped++
 		return
 	}
 	h.rep.Completed++
+	sr.Completed++
 	h.lats = append(h.lats, q.Latency())
 	if q.Violated() {
 		h.rep.Violated++
+		sr.Violated++
 	} else {
 		h.rep.Good++
+		sr.Good++
 	}
 }
 

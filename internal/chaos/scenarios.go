@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"abacus/internal/admit"
+	"abacus/internal/calib"
 	"abacus/internal/runner"
 )
 
@@ -25,6 +26,13 @@ func Scenarios() []Scenario {
 	// completions and shed with half again the observed divergence, the
 	// setting that holds the ≥99% goodput floor under the 50% throttle.
 	fastDegrade := admit.DegradeConfig{Alpha: 0.7, MinSamples: 2, MarginHeadroom: 1.5}
+	// A sustained single-service misprediction: the window names the model so
+	// only Res152's predictions are biased — it reports a fifth of the true
+	// latency. The load is high enough that trusting those predictions
+	// visibly overadmits.
+	biasOne := Script{Windows: []Window{
+		{Kind: KindPredictorBias, Start: 1000, End: 9000, Magnitude: 0.2, Model: "Res152"},
+	}}
 	out := []Scenario{
 		{
 			Name: "baseline", Seed: 11,
@@ -54,6 +62,24 @@ func Scenarios() []Scenario {
 				{Kind: KindPredictorNoise, Start: 1000, End: 5000, Magnitude: 0.2},
 			}},
 			Degrade: fastDegrade,
+		},
+		{
+			// One mistrained service: the predictor reports 60% of the true
+			// latency for Res152 only; Inception-v3's predictions stay exact.
+			// Per-service drift detection sheds the drifting service without
+			// touching its neighbour.
+			Name: "bias-one", Seed: 23, QPS: 60,
+			Script:  biasOne,
+			Degrade: fastDegrade,
+		},
+		{
+			// Same fault, with online calibration closing the loop: the
+			// tracker learns the inverse bias and admission goodput recovers
+			// instead of merely shedding.
+			Name: "bias-one-calibrated", Seed: 23, QPS: 60,
+			Script:  biasOne,
+			Degrade: fastDegrade,
+			Calib:   &calib.Config{Seed: 23},
 		},
 		{
 			Name: "flaky-clients", Seed: 19,
@@ -104,6 +130,15 @@ func (r *Report) Text() string {
 		r.DegradeTransitions, r.DegradeShed, f(r.FinalDivergence))
 	fmt.Fprintf(&b, "  latency: p50 %s ms  p99 %s ms  goodput %s\n",
 		f(r.P50MS), f(r.P99MS), f(r.Goodput))
+	for _, s := range r.Services {
+		fmt.Fprintf(&b, "  svc %d %s: admitted %d  good %d  violated %d  shed %d  margin %s  divergence %s",
+			s.Service, s.Model, s.Admitted, s.Good, s.Violated, s.RejectedDegraded, f(s.Margin), f(s.Divergence))
+		if r.Calibrated {
+			fmt.Fprintf(&b, "  calib slope %s  intercept %s ms  samples %d",
+				f(s.CalibSlope), f(s.CalibInterceptMS), s.CalibSamples)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
 	return b.String()
 }
 

@@ -16,6 +16,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"abacus/internal/dnn"
 )
 
 // Fault kinds a script may open windows for.
@@ -62,6 +64,11 @@ type Window struct {
 	// Mem is KindGPUThrottle's optional separate memory-bandwidth fraction;
 	// 0 means "same as Magnitude".
 	Mem float64 `json:"mem,omitempty"`
+	// Model, for KindPredictorBias only, scopes the bias to one model's
+	// predictions (short name as printed by dnn.ModelID.String, e.g.
+	// "Res152") — the shape of a predictor mistrained for a single service.
+	// Empty biases every prediction. JSON scripts only.
+	Model string `json:"model,omitempty"`
 }
 
 func (w Window) validate() error {
@@ -70,6 +77,14 @@ func (w Window) validate() error {
 	}
 	if !(w.Start >= 0) || !(w.End > w.Start) {
 		return fmt.Errorf("chaos: %s window [%v, %v) is not a forward interval", w.Kind, w.Start, w.End)
+	}
+	if w.Model != "" {
+		if w.Kind != KindPredictorBias {
+			return fmt.Errorf("chaos: %s window scoped to model %q, only %s supports model scoping", w.Kind, w.Model, KindPredictorBias)
+		}
+		if _, err := dnn.ModelIDByName(w.Model); err != nil {
+			return fmt.Errorf("chaos: %s window: %w", w.Kind, err)
+		}
 	}
 	m := w.Magnitude
 	switch w.Kind {
@@ -106,8 +121,11 @@ type Script struct {
 }
 
 // Validate checks every window and rejects overlapping windows of the same
-// kind (their reverts would race; sequential windows express the same
-// scenarios unambiguously).
+// kind and model scope (their reverts would race; sequential windows
+// express the same scenarios unambiguously). A model-scoped predictor_bias
+// window may overlap a global one only if they target different state,
+// which they never do — the global window rewrites the same bias the scoped
+// one composes with — so kind+model is the overlap key.
 func (s Script) Validate() error {
 	for _, w := range s.Windows {
 		if err := w.validate(); err != nil {
@@ -116,7 +134,11 @@ func (s Script) Validate() error {
 	}
 	byKind := map[string][]Window{}
 	for _, w := range s.Windows {
-		byKind[w.Kind] = append(byKind[w.Kind], w)
+		key := w.Kind
+		if w.Model != "" {
+			key += ":" + w.Model
+		}
+		byKind[key] = append(byKind[key], w)
 	}
 	for kind, ws := range byKind {
 		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })

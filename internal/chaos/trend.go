@@ -1,0 +1,102 @@
+// Bench-trend comparison: the chaos suite doubles as the gateway benchmark
+// (BENCH_gateway.json), and because every report field except wall_seconds is
+// deterministic, two artifacts built from the same scenario suite can be
+// diffed exactly — CI compares the PR's artifact against the merge base and
+// fails on goodput or tail-latency regressions instead of tolerating noise
+// bands around wall-clock numbers.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Artifact is the BENCH_gateway.json shape CI uploads and the trend check
+// diffs: the suite's reports plus the only wall-clock field.
+type Artifact struct {
+	// WallSeconds is the only nondeterministic field; trend comparison
+	// ignores it.
+	WallSeconds float64   `json:"wall_seconds,omitempty"`
+	Reports     []*Report `json:"reports"`
+}
+
+// ParseArtifact decodes a benchmark artifact.
+func ParseArtifact(data []byte) (Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return Artifact{}, fmt.Errorf("chaos: parsing benchmark artifact: %w", err)
+	}
+	if len(a.Reports) == 0 {
+		return Artifact{}, fmt.Errorf("chaos: benchmark artifact has no reports")
+	}
+	return a, nil
+}
+
+// TrendOptions sets the regression tolerances. Goodput is compared as an
+// absolute drop (it is a ratio in [0, 1]); p99 as relative growth. The
+// zero value takes the defaults.
+type TrendOptions struct {
+	// MaxGoodputDrop is the largest tolerated absolute goodput decrease
+	// (default 0.005).
+	MaxGoodputDrop float64
+	// MaxP99Growth is the largest tolerated relative p99 increase
+	// (default 0.10 = 10%).
+	MaxP99Growth float64
+}
+
+func (o TrendOptions) withDefaults() TrendOptions {
+	if o.MaxGoodputDrop <= 0 {
+		o.MaxGoodputDrop = 0.005
+	}
+	if o.MaxP99Growth <= 0 {
+		o.MaxP99Growth = 0.10
+	}
+	return o
+}
+
+// TrendIssue is one detected regression.
+type TrendIssue struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Base     float64 `json:"base"`
+	Head     float64 `json:"head"`
+}
+
+func (i TrendIssue) String() string {
+	if i.Metric == "missing" {
+		return fmt.Sprintf("%s: scenario present in base but missing from head", i.Scenario)
+	}
+	return fmt.Sprintf("%s: %s regressed from %.4g to %.4g", i.Scenario, i.Metric, i.Base, i.Head)
+}
+
+// CompareTrend diffs two benchmark artifacts scenario by scenario and
+// returns the regressions: a scenario dropped from the suite, a goodput
+// drop beyond MaxGoodputDrop, or p99 growth beyond MaxP99Growth. Scenarios
+// new in head are not regressions — they simply have no baseline yet.
+// Issues come back in base-report order, so the list is deterministic.
+func CompareTrend(base, head Artifact, opts TrendOptions) []TrendIssue {
+	opts = opts.withDefaults()
+	byName := make(map[string]*Report, len(head.Reports))
+	for _, r := range head.Reports {
+		byName[r.Name] = r
+	}
+	var issues []TrendIssue
+	for _, b := range base.Reports {
+		h, ok := byName[b.Name]
+		if !ok {
+			issues = append(issues, TrendIssue{Scenario: b.Name, Metric: "missing"})
+			continue
+		}
+		if b.Goodput-h.Goodput > opts.MaxGoodputDrop {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "goodput", Base: b.Goodput, Head: h.Goodput,
+			})
+		}
+		if b.P99MS > 0 && (h.P99MS-b.P99MS)/b.P99MS > opts.MaxP99Growth {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "p99_ms", Base: b.P99MS, Head: h.P99MS,
+			})
+		}
+	}
+	return issues
+}

@@ -1,0 +1,120 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func art(reports ...*Report) Artifact { return Artifact{Reports: reports} }
+
+func rep(name string, goodput, p99 float64) *Report {
+	return &Report{Name: name, Goodput: goodput, P99MS: p99}
+}
+
+func TestCompareTrendCleanWhenIdentical(t *testing.T) {
+	a := art(rep("baseline", 1.0, 20), rep("throttle50", 0.95, 35))
+	if issues := CompareTrend(a, a, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("identical artifacts flagged: %v", issues)
+	}
+}
+
+func TestCompareTrendFlagsGoodputDrop(t *testing.T) {
+	base := art(rep("baseline", 1.0, 20))
+	head := art(rep("baseline", 0.98, 20))
+	issues := CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "goodput" {
+		t.Fatalf("want one goodput issue, got %v", issues)
+	}
+	// Within tolerance: no issue.
+	head = art(rep("baseline", 0.997, 20))
+	if issues := CompareTrend(base, head, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("tolerated drop flagged: %v", issues)
+	}
+}
+
+func TestCompareTrendFlagsP99Growth(t *testing.T) {
+	base := art(rep("baseline", 1.0, 20))
+	head := art(rep("baseline", 1.0, 23))
+	issues := CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "p99_ms" {
+		t.Fatalf("want one p99 issue, got %v", issues)
+	}
+	head = art(rep("baseline", 1.0, 21.5))
+	if issues := CompareTrend(base, head, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("tolerated growth flagged: %v", issues)
+	}
+	// A zero-p99 baseline (nothing completed) cannot assert relative growth.
+	base = art(rep("baseline", 1.0, 0))
+	head = art(rep("baseline", 1.0, 50))
+	if issues := CompareTrend(base, head, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("zero-p99 baseline flagged: %v", issues)
+	}
+}
+
+func TestCompareTrendMissingAndNewScenarios(t *testing.T) {
+	base := art(rep("baseline", 1.0, 20), rep("throttle50", 0.95, 35))
+	head := art(rep("baseline", 1.0, 20), rep("brand-new", 0.5, 99))
+	issues := CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "missing" || issues[0].Scenario != "throttle50" {
+		t.Fatalf("want one missing-scenario issue for throttle50, got %v", issues)
+	}
+}
+
+func TestCompareTrendCustomTolerances(t *testing.T) {
+	base := art(rep("baseline", 1.0, 20))
+	head := art(rep("baseline", 0.90, 20))
+	if issues := CompareTrend(base, head, TrendOptions{MaxGoodputDrop: 0.2}); len(issues) != 0 {
+		t.Fatalf("drop within custom tolerance flagged: %v", issues)
+	}
+}
+
+func TestParseArtifactRoundTrip(t *testing.T) {
+	a := Artifact{WallSeconds: 1.5, Reports: []*Report{rep("baseline", 1.0, 20)}}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reports[0].Name != "baseline" || got.WallSeconds != 1.5 {
+		t.Fatalf("round trip mangled artifact: %+v", got)
+	}
+	if _, err := ParseArtifact([]byte(`{"reports": []}`)); err == nil {
+		t.Fatal("empty artifact accepted")
+	}
+	if _, err := ParseArtifact([]byte(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestTrendOnLiveSuite runs two real scenario reports through the comparator
+// — the same artifact must always be trend-clean against itself, which is
+// what makes the CI check byte-deterministic rather than noise-tolerant.
+func TestTrendOnLiveSuite(t *testing.T) {
+	scs := []Scenario{}
+	for _, name := range []string{"baseline", "bias-one-calibrated"} {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %s missing", name)
+		}
+		scs = append(scs, sc)
+	}
+	reports, err := RunAll(scs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Artifact{Reports: reports}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if issues := CompareTrend(a, parsed, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("artifact not trend-clean against itself: %v", issues)
+	}
+}

@@ -53,13 +53,57 @@ func TestPerturbedNoiseBoundedAndSeeded(t *testing.T) {
 	}
 }
 
+func TestPerturbedModelBiasIsSelective(t *testing.T) {
+	base := Oracle{Profile: gpusim.A100Profile()}
+	res := perturbGroup()
+	incep := Group{{Model: dnn.InceptionV3, OpStart: 0, OpEnd: dnn.Get(dnn.InceptionV3).NumOps(), Batch: 8}}
+	truthRes, truthIncep := base.Predict(res), base.Predict(incep)
+
+	p := NewPerturbed(base, 1, 0, 1)
+	p.SetModelBias(dnn.ResNet152, 0.6)
+	if p.Healthy() {
+		t.Error("Healthy() true with a model bias set")
+	}
+	if got := p.ModelBias(dnn.ResNet152); got != 0.6 {
+		t.Errorf("ModelBias = %v, want 0.6", got)
+	}
+	if got := p.Predict(res); math.Abs(got-0.6*truthRes) > 1e-9 {
+		t.Errorf("biased model prediction %v, want %v", got, 0.6*truthRes)
+	}
+	// The co-located model's predictions are untouched.
+	if got := p.Predict(incep); got != truthIncep {
+		t.Errorf("unbiased model perturbed: %v != %v", got, truthIncep)
+	}
+	// A mixed group blames the biased model proportionally.
+	mixed := Group{res[0], incep[0]}
+	truthMixed := base.Predict(mixed)
+	if got, want := p.Predict(mixed), 0.8*truthMixed; math.Abs(got-want) > 1e-9 {
+		t.Errorf("mixed group bias %v, want blend %v", got, want)
+	}
+	// Model bias stacks multiplicatively on the global bias.
+	p.SetBias(0.5)
+	if got, want := p.Predict(res), 0.5*0.6*truthRes; math.Abs(got-want) > 1e-9 {
+		t.Errorf("stacked bias %v, want %v", got, want)
+	}
+	// Setting 1 clears the entry and restores health.
+	p.SetBias(1)
+	p.SetModelBias(dnn.ResNet152, 1)
+	if !p.Healthy() {
+		t.Error("Healthy() false after clearing model bias")
+	}
+	if got := p.Predict(res); got != truthRes {
+		t.Errorf("cleared model bias still perturbs: %v != %v", got, truthRes)
+	}
+}
+
 func TestPerturbedValidation(t *testing.T) {
 	base := Oracle{Profile: gpusim.A100Profile()}
 	for _, fn := range map[string]func(){
-		"zero bias":     func() { NewPerturbed(base, 0, 0, 1) },
-		"negative bias": func() { NewPerturbed(base, -1, 0, 1) },
-		"noise >= 1":    func() { NewPerturbed(base, 1, 1, 1) },
-		"nil inner":     func() { NewPerturbed(nil, 1, 0, 1) },
+		"zero bias":       func() { NewPerturbed(base, 0, 0, 1) },
+		"negative bias":   func() { NewPerturbed(base, -1, 0, 1) },
+		"noise >= 1":      func() { NewPerturbed(base, 1, 1, 1) },
+		"nil inner":       func() { NewPerturbed(nil, 1, 0, 1) },
+		"zero model bias": func() { NewPerturbed(base, 1, 0, 1).SetModelBias(dnn.ResNet152, 0) },
 	} {
 		func() {
 			defer func() {

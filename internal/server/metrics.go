@@ -106,8 +106,64 @@ func renderMetrics(st Statz) []byte {
 	head("abacus_divergence_ewma", "gauge", "EWMA of observed/predicted completion-latency ratio.")
 	emit("abacus_divergence_ewma %s\n", promFloat(st.Degrade.Divergence))
 
-	head("abacus_admission_margin", "gauge", "Current admission safety margin (1 while healthy).")
+	head("abacus_admission_margin", "gauge", "Widest per-service admission safety margin (1 while healthy).")
 	emit("abacus_admission_margin %s\n", promFloat(st.Degrade.Margin))
+
+	head("abacus_service_degraded", "gauge", "1 while the service's drift detector widens its admission margin.")
+	for _, s := range st.Services {
+		v := 0
+		if s.DriftActive {
+			v = 1
+		}
+		emit("abacus_service_degraded{service=%q} %d\n", s.Model, v)
+	}
+
+	head("abacus_service_admission_margin", "gauge", "Per-service admission safety margin (1 while healthy).")
+	for _, s := range st.Services {
+		emit("abacus_service_admission_margin{service=%q} %s\n", s.Model, promFloat(s.Margin))
+	}
+
+	head("abacus_service_divergence_ewma", "gauge", "Per-service EWMA of observed/predicted completion-latency ratio.")
+	for _, s := range st.Services {
+		emit("abacus_service_divergence_ewma{service=%q} %s\n", s.Model, promFloat(s.Divergence))
+	}
+
+	if st.Calibration != nil {
+		cal := 0
+		if st.Calibration.Enabled {
+			cal = 1
+		}
+		head("abacus_calibration_enabled", "gauge", "1 while online latency-model calibration acts on feedback.")
+		emit("abacus_calibration_enabled %d\n", cal)
+
+		head("abacus_calibration_slope", "gauge", "Per-service affine correction slope (1 = predictions trusted as-is).")
+		for _, c := range st.Calibration.Services {
+			emit("abacus_calibration_slope{service=%q} %s\n", c.Model, promFloat(c.Slope))
+		}
+
+		head("abacus_calibration_intercept_ms", "gauge", "Per-service affine correction intercept, virtual ms.")
+		for _, c := range st.Calibration.Services {
+			emit("abacus_calibration_intercept_ms{service=%q} %s\n", c.Model, promFloat(c.Intercept))
+		}
+
+		head("abacus_calibration_samples_total", "counter", "Accepted uncontended feedback samples per service.")
+		for _, c := range st.Calibration.Services {
+			emit("abacus_calibration_samples_total{service=%q} %d\n", c.Model, c.Samples)
+		}
+
+		head("abacus_calibration_updates_total", "counter", "Applied correction updates per service (mini-refits included).")
+		for _, c := range st.Calibration.Services {
+			emit("abacus_calibration_updates_total{service=%q} %d\n", c.Model, c.Updates)
+		}
+
+		head("abacus_calibration_residual_ms", "gauge", "Signed corrected-prediction residual quantiles over the reservoir, virtual ms.")
+		for _, c := range st.Calibration.Services {
+			if c.Reservoir > 0 {
+				emit("abacus_calibration_residual_ms{service=%q,quantile=\"0.5\"} %s\n", c.Model, promFloat(c.ResidualP50MS))
+				emit("abacus_calibration_residual_ms{service=%q,quantile=\"0.99\"} %s\n", c.Model, promFloat(c.ResidualP99MS))
+			}
+		}
+	}
 
 	return b.Bytes()
 }

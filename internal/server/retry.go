@@ -205,6 +205,7 @@ func (r *Retrier) InferRetry(ctx context.Context, c *Client, req InferRequest) (
 		cancel()
 		st.Attempts++
 		if lastErr == nil && !retriable(status, nil) {
+			st.Retries = st.Attempts - 1
 			return resp, status, st, nil
 		}
 		if ctx.Err() != nil {

@@ -26,8 +26,10 @@ import (
 	"time"
 
 	"abacus/internal/admit"
+	"abacus/internal/calib"
 	"abacus/internal/core"
 	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
 	"abacus/internal/realtime"
 	"abacus/internal/sched"
@@ -59,6 +61,11 @@ type Config struct {
 	// Degrade tunes the degraded-mode controller; the zero value enables it
 	// with defaults, Disabled pins the admission margin at 1.
 	Degrade admit.DegradeConfig
+	// Calib, when non-nil, enables online latency-model calibration: every
+	// completed query feeds a per-service feedback tracker and both the
+	// scheduler and admission predict through the corrected model. Nil
+	// leaves calibration off.
+	Calib *calib.Config
 	// MaxBodyBytes caps the /v1/infer request body (default 1 MiB); larger
 	// bodies are rejected 400 and counted as malformed.
 	MaxBodyBytes int64
@@ -82,6 +89,7 @@ type Server struct {
 	bridge  *realtime.Bridge
 	mux     *http.ServeMux
 	admit   *admit.Admitter           // loop-goroutine state
+	tracker *calib.Tracker            // loop-goroutine state; nil when calibration is off
 	pending map[*sched.Query]*pending // loop-goroutine state
 	byID    map[string]*pending       // loop-goroutine state: in-flight idempotency keys
 	recent  *outcomeCache             // loop-goroutine state: completed idempotency keys
@@ -222,10 +230,25 @@ func New(cfg Config) (*Server, error) {
 		recent:  newOutcomeCache(cfg.DedupeWindow),
 		byName:  make(map[string]int),
 	}
+	profile := gpusim.A100Profile()
+	model := cfg.Model
+	if model == nil {
+		model = predictor.Oracle{Profile: profile}
+	}
+	if cfg.Calib != nil {
+		cc := *cfg.Calib
+		// Correction updates move the admitter's memoized solo predictions;
+		// drop them so the next verdict sees the corrected model. s.admit is
+		// assigned below, before the bridge starts delivering feedback.
+		cc.OnUpdate = func(int) { s.admit.InvalidateCache() }
+		s.tracker = calib.NewTracker(cc, cfg.Models)
+		model = calib.NewCalibrated(model, s.tracker)
+	}
 	rt, err := core.New(core.Config{
 		Models:    cfg.Models,
 		QoSFactor: cfg.QoSFactor,
-		Model:     cfg.Model,
+		Model:     model,
+		Profile:   profile,
 		Sched:     cfg.Sched,
 		SyncCost:  cfg.SyncCost,
 		OnResult:  s.onResult,
@@ -235,16 +258,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.rt = rt
 	s.bridge = realtime.New(rt.Engine(), cfg.Speedup)
-	model := cfg.Model
-	if model == nil {
-		model = predictor.Oracle{Profile: rt.Device().Profile()}
-	}
 	syncCost := cfg.SyncCost
 	if syncCost == 0 {
 		syncCost = 0.02
 	}
 	s.admit = admit.New(model, rt.Device().Profile(), rt.Services(), cfg.QueueCap, syncCost,
-		admit.NewDegrade(cfg.Degrade))
+		admit.NewDegrade(cfg.Degrade, len(cfg.Models)))
 	for i, m := range cfg.Models {
 		s.byName[m.String()] = i
 		s.svc = append(s.svc, &svcStats{})
@@ -341,8 +360,12 @@ func (s *Server) onResult(q *sched.Query) {
 	s.admit.Finish(q.Service.ID, p.workMS)
 	// Feed the divergence tracker the margin-free prediction against what
 	// actually happened; drops observe too (a drop is divergence at its
-	// loudest).
-	s.admit.Degrade().Observe(p.predMS, q.Latency())
+	// loudest). The calibration tracker sees the same completion split into
+	// solo work and backlog, and keeps only near-uncontended samples.
+	s.admit.Degrade().Observe(q.Service.ID, p.predMS, q.Latency())
+	if s.tracker != nil {
+		s.tracker.ObserveAdmission(q.Service.ID, p.workMS, p.predMS-p.workMS, q.Latency())
+	}
 
 	s.mu.Lock()
 	st := s.svc[q.Service.ID]
@@ -584,10 +607,15 @@ type Statz struct {
 	Speedup       float64 `json:"speedup"`
 	Draining      bool    `json:"draining"`
 	BacklogPredMS float64 `json:"backlog_pred_ms"`
-	// Degrade reports the divergence tracker: whether the gateway currently
-	// widens its admission margin, how often it has flipped, and the
-	// observed/predicted latency EWMA it acts on.
+	// Degrade reports the divergence tracker aggregate: whether any service
+	// currently widens its admission margin, how often the detectors have
+	// flipped, and the worst observed/predicted latency EWMA. Per-service
+	// detail lives on each ServiceStatz entry.
 	Degrade admit.Status `json:"degrade"`
+	// Calibration reports the online latency-model calibration state
+	// (per-service correction slope/intercept, sample counts, residual
+	// quantiles); nil when calibration is off.
+	Calibration *calib.Status `json:"calibration,omitempty"`
 	// Faults are gateway-wide fault counters.
 	Faults   FaultStatz     `json:"faults"`
 	Services []ServiceStatz `json:"services"`
@@ -614,10 +642,16 @@ type ServiceStatz struct {
 	Dropped          int64   `json:"dropped"`
 	Violated         int64   `json:"violated"`
 	QueueDepth       int     `json:"queue_depth"`
-	P50MS            float64 `json:"p50_ms"`
-	P99MS            float64 `json:"p99_ms"`
-	MeanMS           float64 `json:"mean_ms"`
-	GoodputQPS       float64 `json:"goodput_qps"` // virtual-time basis
+	// Per-service drift state: the admission margin this service's verdicts
+	// pay, whether its drift detector is active, and the divergence EWMA it
+	// acts on.
+	Margin      float64 `json:"margin"`
+	DriftActive bool    `json:"drift_active"`
+	Divergence  float64 `json:"divergence_ewma"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	GoodputQPS  float64 `json:"goodput_qps"` // virtual-time basis
 }
 
 // statz snapshots the gateway state. Queue depths, predicted backlog, and
@@ -627,11 +661,18 @@ func (s *Server) statz() Statz {
 	depths := make([]int, len(s.svc))
 	backlog := 0.0
 	var degrade admit.Status
+	var drift []admit.ServiceStatus
+	var calSt *calib.Status
 	var duplicates int64
 	_ = s.bridge.Do(func() {
 		s.admit.CopyOutstanding(depths)
 		backlog = s.admit.BacklogMS()
 		degrade = s.admit.Degrade().Snapshot()
+		drift = s.admit.Degrade().ServiceSnapshots()
+		if s.tracker != nil {
+			cs := s.tracker.Snapshot()
+			calSt = &cs
+		}
 		duplicates = s.duplicates
 	})
 	now := s.bridge.Now()
@@ -642,6 +683,7 @@ func (s *Server) statz() Statz {
 		Draining:      s.draining.Load(),
 		BacklogPredMS: backlog,
 		Degrade:       degrade,
+		Calibration:   calSt,
 		Faults: FaultStatz{
 			Malformed:            s.malformed.Load(),
 			DuplicatesSuppressed: duplicates,
@@ -665,6 +707,11 @@ func (s *Server) statz() Statz {
 			Dropped:          st.dropped,
 			Violated:         st.violated,
 			QueueDepth:       depths[i],
+		}
+		if i < len(drift) {
+			entry.Margin = drift[i].Margin
+			entry.DriftActive = drift[i].Active
+			entry.Divergence = drift[i].Divergence
 		}
 		if lats := st.lats.snapshot(); len(lats) > 0 {
 			ps := stats.Percentiles(lats, 50, 99)
