@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json chaos trend ci
+.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json bench-predict chaos trend ci
 
 all: build
 
@@ -53,20 +53,35 @@ bench:
 bench-json:
 	$(GO) run ./cmd/abacus-chaos -bench -json -o BENCH_gateway.json
 
-# Bench-trend check: rebuild the benchmark artifact at TREND_BASE (default
-# origin/main) in a throwaway worktree, then diff the deterministic counters
-# against the working tree's artifact. Fails on a dropped scenario, a
-# goodput drop, or p99 growth beyond the abacus-trend tolerances.
+# Prediction hot-path benchmarks (batched MLP forward, span search,
+# gateway round) as a machine-readable artifact; allocs/op is deterministic
+# and trend-gated tightly, ns/op generously.
+bench-predict:
+	$(GO) run ./cmd/abacus-predictbench -o BENCH_predict.json
+
+# Bench-trend check: rebuild both benchmark artifacts at TREND_BASE
+# (default origin/main) in a throwaway worktree, then diff against the
+# working tree's artifacts. Fails on a dropped scenario or benchmark, a
+# goodput drop, p99 growth, a per-service shed spike or admitted drop, or
+# hot-path allocs/op growth beyond the abacus-trend tolerances. The predict
+# gate only engages when the base ref has abacus-predictbench (so it is
+# skipped against pre-artifact history).
 TREND_BASE ?= origin/main
 
-trend: bench-json
+trend: bench-json bench-predict
 	@set -e; \
 	tmp=$$(mktemp -d); \
 	trap 'git worktree remove --force "$$tmp" 2>/dev/null || rm -rf "$$tmp"' EXIT; \
 	git worktree add --detach "$$tmp" $(TREND_BASE) >/dev/null; \
 	(cd "$$tmp" && $(GO) run ./cmd/abacus-chaos -o BENCH_base.json >/dev/null); \
 	mv "$$tmp/BENCH_base.json" BENCH_base.json; \
-	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json
+	predict_flags=""; \
+	if [ -d "$$tmp/cmd/abacus-predictbench" ]; then \
+		(cd "$$tmp" && $(GO) run ./cmd/abacus-predictbench -o PREDICT_base.json >/dev/null); \
+		mv "$$tmp/PREDICT_base.json" PREDICT_base.json; \
+		predict_flags="-predict-base PREDICT_base.json -predict-head BENCH_predict.json"; \
+	fi; \
+	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags
 
 # Run the built-in fault suite and hold the recovery scenarios to their QoS
 # floor (the throttle50 baseline intentionally fails it, so the floor is

@@ -19,6 +19,8 @@ import (
 	"testing"
 
 	"abacus"
+	"abacus/internal/admit"
+	"abacus/internal/core"
 	"abacus/internal/dnn"
 	"abacus/internal/experiments"
 	"abacus/internal/gpusim"
@@ -160,6 +162,72 @@ func BenchmarkMultiwaySearch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sched.MaxFeasibleSpan(pred, base, entry, mInc.NumOps(), budget, 4)
+	}
+}
+
+// BenchmarkMaxFeasibleSpan measures one multi-way span search against a
+// trained duration model with a two-entry base group — the per-candidate
+// unit of work inside every scheduling round. The search scratch is reused
+// across iterations, matching how the controller calls it.
+func BenchmarkMaxFeasibleSpan(b *testing.B) {
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := predictor.Collect([]dnn.ModelID{dnn.ResNet50, dnn.ResNet152, dnn.InceptionV3}, 2, 100, cfg)
+	tc := predictor.DefaultTrainConfig()
+	tc.Epochs = 50
+	pred, err := predictor.Train(samples, predictor.NewCodec(), tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m50, m152, mInc := dnn.Get(dnn.ResNet50), dnn.Get(dnn.ResNet152), dnn.Get(dnn.InceptionV3)
+	base := predictor.Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: m50.NumOps(), Batch: 8},
+		{Model: dnn.ResNet152, OpStart: 40, OpEnd: m152.NumOps(), Batch: 16},
+	}
+	entry := predictor.Entry{Model: dnn.InceptionV3, OpStart: 0, Batch: 16}
+	budget := pred.Predict(base) * 1.2
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sched.MaxFeasibleSpan(pred, base, entry, mInc.NumOps(), budget, 4)
+	}
+}
+
+// BenchmarkGatewayRound measures the gateway's per-request hot path minus
+// HTTP: one admission decision plus one full scheduling round (submit →
+// group formation → execution → drain) on the hot pair with a trained
+// duration model.
+func BenchmarkGatewayRound(b *testing.B) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := predictor.Collect(models, 2, 100, cfg)
+	tc := predictor.DefaultTrainConfig()
+	tc.Epochs = 50
+	pred, err := predictor.Train(samples, predictor.NewCodec(), tc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profile := gpusim.A100Profile()
+	rt, err := core.New(core.Config{Models: models, Model: pred, Profile: profile})
+	if err != nil {
+		b.Fatal(err)
+	}
+	adm := admit.New(pred, profile, rt.Services(), 64, 0.02, nil)
+	in := dnn.Input{Batch: 8}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		svc := i % len(models)
+		now := rt.Engine().Now()
+		d := adm.Decide(now, svc, in, 0)
+		if !d.OK {
+			b.Fatalf("iteration %d: admission rejected (%s) with an empty backlog", i, d.Reason)
+		}
+		adm.Admitted(svc, d.WorkMS)
+		rt.Submit(svc, in, now)
+		rt.Drain()
+		adm.Finish(svc, d.WorkMS)
 	}
 }
 

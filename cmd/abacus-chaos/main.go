@@ -38,6 +38,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "scenario worker-pool width (reports are identical at any width)")
 	degrade := flag.Bool("degrade", true, "enable the degraded-mode controller in -script runs")
 	retry := flag.Bool("retry", false, "give -script runs a retrying virtual client")
+	predictCache := flag.Int("predict-cache", 0, "oracle memo-cache capacity for -script runs (0 = off; reports are identical either way)")
 	assertGoodput := flag.Float64("assert-goodput", 0, "exit 1 unless every report's goodput meets this floor")
 	jsonOut := flag.Bool("json", false, "emit reports as JSON instead of text")
 	outFile := flag.String("o", "", "also write the JSON report array to this file")
@@ -55,7 +56,7 @@ func main() {
 		return
 	}
 
-	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *modelsFlag, *qps, *durationMS, *seed, *degrade, *retry)
+	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *modelsFlag, *qps, *durationMS, *seed, *degrade, *retry, *predictCache)
 	if err != nil {
 		fail(err)
 	}
@@ -101,7 +102,7 @@ func main() {
 }
 
 // selectScenarios resolves the flag combination into the scenario list.
-func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float64, seed int64, degrade, retry bool) ([]chaos.Scenario, error) {
+func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int) ([]chaos.Scenario, error) {
 	if scriptFile != "" {
 		data, err := os.ReadFile(scriptFile)
 		if err != nil {
@@ -116,12 +117,13 @@ func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float6
 			return nil, err
 		}
 		sc := chaos.Scenario{
-			Name:       strings.TrimSuffix(scriptFile, ".csv"),
-			Models:     models,
-			QPS:        qps,
-			DurationMS: durationMS,
-			Seed:       seed,
-			Script:     script,
+			Name:         strings.TrimSuffix(scriptFile, ".csv"),
+			Models:       models,
+			QPS:          qps,
+			DurationMS:   durationMS,
+			Seed:         seed,
+			Script:       script,
+			PredictCache: predictCache,
 		}
 		if !degrade {
 			sc.Degrade = admit.DegradeConfig{Disabled: true}

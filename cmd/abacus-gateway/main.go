@@ -34,6 +34,7 @@ func main() {
 	qosFactor := flag.Float64("qos-factor", 2, "QoS target as a multiple of max-input solo latency")
 	predictorFile := flag.String("predictor", "", "trained predictor JSON (see abacus-train -model-out; default: exact oracle)")
 	calibrate := flag.Bool("calibrate", false, "enable online latency-model calibration (per-service feedback-corrected predictions on /statz)")
+	predictCache := flag.Int("predict-cache", 4096, "group-signature prediction cache capacity (0 disables)")
 	calibSeed := flag.Int64("calib-seed", 1, "seed for the calibration feedback reservoirs")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on shutdown")
 	version := flag.Bool("version", false, "print version and exit")
@@ -53,6 +54,10 @@ func main() {
 		Speedup:      *speedup,
 		QueueCap:     *queueCap,
 		DrainTimeout: *drainTimeout,
+		PredictCache: *predictCache,
+	}
+	if *predictCache <= 0 {
+		cfg.PredictCache = -1 // flag 0 = off; Config 0 = default
 	}
 	if *predictorFile != "" {
 		f, err := os.Open(*predictorFile)

@@ -1,0 +1,198 @@
+// Command abacus-predictbench runs the prediction hot-path
+// microbenchmarks (batched MLP forward, allocation-free span search, and
+// the gateway round) via testing.Benchmark and writes the results as
+// BENCH_predict.json. CI uploads the artifact next to BENCH_gateway.json
+// and abacus-trend diffs the two: allocs/op is deterministic and gated
+// tightly, ns/op generously.
+//
+// Usage:
+//
+//	abacus-predictbench -o BENCH_predict.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"abacus/internal/admit"
+	"abacus/internal/chaos"
+	"abacus/internal/cli"
+	"abacus/internal/core"
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/ml"
+	"abacus/internal/predictor"
+	"abacus/internal/sched"
+)
+
+var fail = cli.Failer("abacus-predictbench")
+
+func main() {
+	outFile := flag.String("o", "BENCH_predict.json", "artifact output path (empty: stdout table only)")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(cli.Version())
+		return
+	}
+
+	wallStart := time.Now()
+	var benches []chaos.PredictBench
+	for _, bm := range hotPathBenchmarks() {
+		res := testing.Benchmark(bm.fn)
+		benches = append(benches, chaos.PredictBench{
+			Name:        bm.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		})
+		fmt.Printf("%-32s %10d ns/op %8d B/op %6d allocs/op\n",
+			bm.name, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	}
+
+	if *outFile == "" {
+		return
+	}
+	art := chaos.PredictArtifact{
+		WallSeconds: time.Since(wallStart).Seconds(),
+		Benchmarks:  benches,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// hotPathBenchmarks mirrors the hot-path benchmarks in the repo's test
+// suite (same setups and names), packaged for testing.Benchmark so the
+// bench lane can emit them as a machine-readable artifact.
+func hotPathBenchmarks() []namedBench {
+	var out []namedBench
+
+	// Batched MLP forward at the batch sizes the multi-way search issues.
+	const features = 28 // codec width for a 12-model zoo: 12 + 4·4
+	mlp := fitBenchMLP(features)
+	rng := rand.New(rand.NewSource(9))
+	for _, batch := range []int{1, 8, 64} {
+		X := make([][]float64, batch)
+		for i := range X {
+			X[i] = make([]float64, features)
+			for j := range X[i] {
+				X[i][j] = rng.Float64() * 100
+			}
+		}
+		out = append(out, namedBench{
+			name: fmt.Sprintf("BenchmarkMLPPredictBatch/B=%d", batch),
+			fn: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					mlp.PredictBatch(X)
+				}
+			},
+		})
+	}
+
+	// Multi-way span search against a trained duration model with a
+	// two-entry base group.
+	pred := trainBenchPredictor([]dnn.ModelID{dnn.ResNet50, dnn.ResNet152, dnn.InceptionV3})
+	m50, m152, mInc := dnn.Get(dnn.ResNet50), dnn.Get(dnn.ResNet152), dnn.Get(dnn.InceptionV3)
+	base := predictor.Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: m50.NumOps(), Batch: 8},
+		{Model: dnn.ResNet152, OpStart: 40, OpEnd: m152.NumOps(), Batch: 16},
+	}
+	entry := predictor.Entry{Model: dnn.InceptionV3, OpStart: 0, Batch: 16}
+	budget := pred.Predict(base) * 1.2
+	out = append(out, namedBench{
+		name: "BenchmarkMaxFeasibleSpan",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sched.MaxFeasibleSpan(pred, base, entry, mInc.NumOps(), budget, 4)
+			}
+		},
+	})
+
+	// Gateway per-request hot path minus HTTP: one admission decision plus
+	// one full scheduling round on the hot pair.
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	gwPred := trainBenchPredictor(models)
+	profile := gpusim.A100Profile()
+	rt, err := core.New(core.Config{Models: models, Model: gwPred, Profile: profile})
+	if err != nil {
+		fail(err)
+	}
+	adm := admit.New(gwPred, profile, rt.Services(), 64, 0.02, nil)
+	in := dnn.Input{Batch: 8}
+	out = append(out, namedBench{
+		name: "BenchmarkGatewayRound",
+		fn: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				svc := i % len(models)
+				now := rt.Engine().Now()
+				d := adm.Decide(now, svc, in, 0)
+				if !d.OK {
+					fail(fmt.Errorf("iteration %d: admission rejected (%s) with an empty backlog", i, d.Reason))
+				}
+				adm.Admitted(svc, d.WorkMS)
+				rt.Submit(svc, in, now)
+				rt.Drain()
+				adm.Finish(svc, d.WorkMS)
+			}
+		},
+	})
+
+	return out
+}
+
+// fitBenchMLP fits a paper-topology MLP over a synthetic feature space
+// shaped like the predictor codec's vectors, matching the test suite's
+// BenchmarkMLPPredictBatch setup.
+func fitBenchMLP(features int) *ml.MLP {
+	rng := rand.New(rand.NewSource(7))
+	var ds ml.Dataset
+	for i := 0; i < 256; i++ {
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = rng.Float64() * 100
+		}
+		y := 0.0
+		for j, v := range x {
+			y += v * float64(j%5)
+		}
+		ds.Append(x, y+rng.NormFloat64())
+	}
+	m := &ml.MLP{Epochs: 30, Seed: 1}
+	if err := m.Fit(ds); err != nil {
+		fail(err)
+	}
+	return m
+}
+
+// trainBenchPredictor trains a duration model on a quick profiling sweep,
+// matching the test suite's span-search and gateway benchmark setups.
+func trainBenchPredictor(models []dnn.ModelID) *predictor.Predictor {
+	cfg := predictor.DefaultSamplerConfig()
+	cfg.Runs = 1
+	samples := predictor.Collect(models, 2, 100, cfg)
+	tc := predictor.DefaultTrainConfig()
+	tc.Epochs = 50
+	pred, err := predictor.Train(samples, predictor.NewCodec(), tc)
+	if err != nil {
+		fail(err)
+	}
+	return pred
+}

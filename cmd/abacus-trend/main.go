@@ -1,13 +1,20 @@
 // Command abacus-trend diffs two gateway benchmark artifacts
 // (BENCH_gateway.json, see abacus-chaos -o) and exits nonzero on a
 // regression: a scenario dropped from the suite, goodput down more than the
-// tolerance, or p99 up more than the tolerance. Every compared field is
+// tolerance, p99 up more than the tolerance, or a single service shedding
+// or starving beyond the per-service tolerances. Every compared field is
 // deterministic, so the check is exact — no noise bands.
+//
+// With -predict-base/-predict-head it also diffs the prediction hot-path
+// artifacts (BENCH_predict.json, see abacus-predictbench): allocs/op is
+// deterministic and gated tightly, ns/op generously.
 //
 // Usage:
 //
 //	abacus-trend -base BENCH_base.json -head BENCH_gateway.json
 //	abacus-trend -base old.json -head new.json -max-goodput-drop 0.01 -max-p99-growth 0.2
+//	abacus-trend -base old.json -head new.json \
+//	    -predict-base PREDICT_base.json -predict-head BENCH_predict.json
 package main
 
 import (
@@ -22,10 +29,16 @@ import (
 var fail = cli.Failer("abacus-trend")
 
 func main() {
-	basePath := flag.String("base", "", "baseline artifact (required)")
-	headPath := flag.String("head", "BENCH_gateway.json", "candidate artifact")
+	basePath := flag.String("base", "", "baseline gateway artifact (required)")
+	headPath := flag.String("head", "BENCH_gateway.json", "candidate gateway artifact")
+	predictBase := flag.String("predict-base", "", "baseline prediction hot-path artifact (enables the predict gate)")
+	predictHead := flag.String("predict-head", "BENCH_predict.json", "candidate prediction hot-path artifact")
 	maxGoodputDrop := flag.Float64("max-goodput-drop", 0, "largest tolerated absolute goodput decrease (default 0.005)")
 	maxP99Growth := flag.Float64("max-p99-growth", 0, "largest tolerated relative p99 increase (default 0.10)")
+	maxShedGrowth := flag.Float64("max-shed-growth", 0, "largest tolerated relative per-service degraded-shed increase (default 0.10)")
+	maxAdmittedDrop := flag.Float64("max-admitted-drop", 0, "largest tolerated relative per-service admitted decrease (default 0.05)")
+	maxNsGrowth := flag.Float64("max-ns-growth", 0, "largest tolerated relative ns/op increase in the predict artifact (default 0.50)")
+	maxAllocsGrowth := flag.Float64("max-allocs-growth", 0, "largest tolerated relative allocs/op increase in the predict artifact (default 0.10)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -39,12 +52,25 @@ func main() {
 	base := readArtifact(*basePath)
 	head := readArtifact(*headPath)
 	issues := chaos.CompareTrend(base, head, chaos.TrendOptions{
-		MaxGoodputDrop: *maxGoodputDrop,
-		MaxP99Growth:   *maxP99Growth,
+		MaxGoodputDrop:  *maxGoodputDrop,
+		MaxP99Growth:    *maxP99Growth,
+		MaxShedGrowth:   *maxShedGrowth,
+		MaxAdmittedDrop: *maxAdmittedDrop,
 	})
-
 	fmt.Printf("compared %d base scenarios against %d head scenarios\n",
 		len(base.Reports), len(head.Reports))
+
+	if *predictBase != "" {
+		pb := readPredictArtifact(*predictBase)
+		ph := readPredictArtifact(*predictHead)
+		issues = append(issues, chaos.ComparePredictTrend(pb, ph, chaos.PredictTrendOptions{
+			MaxNsGrowth:     *maxNsGrowth,
+			MaxAllocsGrowth: *maxAllocsGrowth,
+		})...)
+		fmt.Printf("compared %d base hot-path benchmarks against %d head benchmarks\n",
+			len(pb.Benchmarks), len(ph.Benchmarks))
+	}
+
 	if len(issues) == 0 {
 		fmt.Println("trend clean: no regressions")
 		return
@@ -61,6 +87,18 @@ func readArtifact(path string) chaos.Artifact {
 		fail(err)
 	}
 	a, err := chaos.ParseArtifact(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return a
+}
+
+func readPredictArtifact(path string) chaos.PredictArtifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	a, err := chaos.ParsePredictArtifact(data)
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}

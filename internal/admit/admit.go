@@ -64,7 +64,14 @@ type Admitter struct {
 
 	outstanding []int   // admitted-but-unfinished per service
 	backlogMS   float64 // Σ predicted solo latencies of outstanding work
-	soloCache   map[dnn.Input]map[int]float64
+	soloCache   map[soloKey]float64
+}
+
+// soloKey identifies a memoized solo prediction: one flat map lookup per
+// verdict instead of the two-level input→service chain.
+type soloKey struct {
+	service int
+	in      dnn.Input
 }
 
 // New builds an admitter over the deployment. queueCap bounds
@@ -92,7 +99,7 @@ func New(model predictor.LatencyModel, profile gpusim.Profile, services []*sched
 		syncCost:    syncCost,
 		degrade:     degrade,
 		outstanding: make([]int, len(services)),
-		soloCache:   make(map[dnn.Input]map[int]float64),
+		soloCache:   make(map[soloKey]float64),
 	}
 }
 
@@ -112,12 +119,8 @@ func (a *Admitter) CopyOutstanding(dst []int) { copy(dst, a.outstanding) }
 // group sync) of a full query, memoized: the served input space is small
 // (Table 1), so steady state answers from the cache.
 func (a *Admitter) SoloPred(service int, in dnn.Input) float64 {
-	byService, ok := a.soloCache[in]
-	if !ok {
-		byService = make(map[int]float64)
-		a.soloCache[in] = byService
-	}
-	if v, ok := byService[service]; ok {
+	key := soloKey{service: service, in: in}
+	if v, ok := a.soloCache[key]; ok {
 		return v
 	}
 	svc := a.services[service]
@@ -130,7 +133,7 @@ func (a *Admitter) SoloPred(service int, in dnn.Input) float64 {
 		SeqLen:  in.SeqLen,
 	}}
 	v := dnn.TransferTime(m, in, a.profile) + a.model.Predict(g) + a.syncCost
-	byService[service] = v
+	a.soloCache[key] = v
 	return v
 }
 
@@ -138,7 +141,9 @@ func (a *Admitter) SoloPred(service int, in dnn.Input) float64 {
 // a predictor-fault window opens or closes so the admitter's view tracks
 // the (now mis-)calibrated model instead of a stale healthy one.
 func (a *Admitter) InvalidateCache() {
-	a.soloCache = make(map[dnn.Input]map[int]float64)
+	for k := range a.soloCache {
+		delete(a.soloCache, k)
+	}
 }
 
 // Decide renders the admission verdict for a query of the given service

@@ -112,6 +112,60 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestPredictCacheTransparency is the hard invariant of the memoization
+// layer: running a scenario with the oracle cache on yields a report
+// byte-identical to the cache-off run, modulo the scenario name. The cache
+// sits below the perturbation layer, so it must never change a single
+// counter, percentile, or per-service line.
+func TestPredictCacheTransparency(t *testing.T) {
+	base, ok := Lookup("baseline")
+	if !ok {
+		t.Fatal("baseline scenario missing")
+	}
+	cached, ok := Lookup("baseline-cached")
+	if !ok {
+		t.Fatal("baseline-cached scenario missing")
+	}
+	if cached.PredictCache <= 0 {
+		t.Fatal("baseline-cached does not enable the cache")
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Name = want.Name
+	j1, err := want.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := got.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j1) != string(j2) {
+		t.Errorf("cache-on report differs from cache-off:\n%s\nvs\n%s", j1, j2)
+	}
+	// The transparency claim holds under faults and tiny capacities too:
+	// eviction churn may cost hits but never changes behavior.
+	fault, _ := Lookup("throttle50-degraded")
+	want, err = Run(fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.PredictCache = 7
+	got, err = Run(fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Text() != got.Text() {
+		t.Errorf("tiny cache changed a faulted report:\n%svs\n%s", want.Text(), got.Text())
+	}
+}
+
 // TestFlakyClientsRecoverViaRetries: transit faults cost attempts but the
 // retry + idempotency path keeps delivered goodput intact.
 func TestFlakyClientsRecoverViaRetries(t *testing.T) {

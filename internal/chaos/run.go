@@ -79,6 +79,11 @@ type Scenario struct {
 	Calib *calib.Config
 	// Retry, when non-nil, gives the virtual client retry behavior.
 	Retry *RetryConfig
+	// PredictCache, when positive, memoizes the pure oracle behind the
+	// perturbation layer with a predictor.Memoized of that capacity. The
+	// cache sits below Perturbed — caching above it would change the noise
+	// stream — so reports stay byte-identical cache on or off.
+	PredictCache int
 }
 
 // Report is one scenario's outcome. All fields derive from virtual time and
@@ -171,7 +176,8 @@ type harness struct {
 	rt      *core.Runtime
 	adm     *admit.Admitter
 	perturb *predictor.Perturbed
-	tracker *calib.Tracker // nil when calibration is off
+	memo    *predictor.Memoized // nil when the oracle cache is off
+	tracker *calib.Tracker      // nil when calibration is off
 	pending map[*sched.Query]*pend
 	rep     *Report
 	lats    []float64
@@ -214,7 +220,12 @@ func Run(sc Scenario) (*Report, error) {
 	}
 
 	profile := gpuProfile()
-	h.perturb = predictor.NewPerturbed(predictor.Oracle{Profile: profile}, 1, 0, sc.Seed)
+	oracle := predictor.LatencyModel(predictor.Oracle{Profile: profile})
+	if sc.PredictCache > 0 {
+		h.memo = predictor.NewMemoized(oracle, sc.PredictCache)
+		oracle = h.memo
+	}
+	h.perturb = predictor.NewPerturbed(oracle, 1, 0, sc.Seed)
 	var model predictor.LatencyModel = h.perturb
 	if sc.Calib != nil {
 		cc := *sc.Calib

@@ -39,6 +39,15 @@ func Scenarios() []Scenario {
 			Degrade: noDegrade,
 		},
 		{
+			// The healthy baseline with the oracle memo cache on: every
+			// counter must match "baseline" exactly — the cache is an
+			// optimization, never a behavior change (see
+			// TestPredictCacheTransparency).
+			Name: "baseline-cached", Seed: 11,
+			Degrade:      noDegrade,
+			PredictCache: 4096,
+		},
+		{
 			Name: "throttle50", Seed: 11,
 			Script:  throttle,
 			Degrade: noDegrade,

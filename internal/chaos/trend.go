@@ -42,6 +42,18 @@ type TrendOptions struct {
 	// MaxP99Growth is the largest tolerated relative p99 increase
 	// (default 0.10 = 10%).
 	MaxP99Growth float64
+	// MaxShedGrowth is the largest tolerated relative increase in a single
+	// service's degraded-shed counter (default 0.10 = 10%, with a small
+	// absolute allowance for near-zero baselines). A one-service shed spike
+	// is an isolation regression even when aggregate goodput holds.
+	MaxShedGrowth float64
+	// MaxAdmittedDrop is the largest tolerated relative decrease in a
+	// single service's admitted count (default 0.05 = 5%).
+	MaxAdmittedDrop float64
+	// CountSlack is the absolute per-service count allowance applied on top
+	// of the relative shed/admitted tolerances, so tiny baselines do not
+	// flag on ±1 query (default 2).
+	CountSlack float64
 }
 
 func (o TrendOptions) withDefaults() TrendOptions {
@@ -50,6 +62,15 @@ func (o TrendOptions) withDefaults() TrendOptions {
 	}
 	if o.MaxP99Growth <= 0 {
 		o.MaxP99Growth = 0.10
+	}
+	if o.MaxShedGrowth <= 0 {
+		o.MaxShedGrowth = 0.10
+	}
+	if o.MaxAdmittedDrop <= 0 {
+		o.MaxAdmittedDrop = 0.05
+	}
+	if o.CountSlack <= 0 {
+		o.CountSlack = 2
 	}
 	return o
 }
@@ -95,6 +116,134 @@ func CompareTrend(base, head Artifact, opts TrendOptions) []TrendIssue {
 		if b.P99MS > 0 && (h.P99MS-b.P99MS)/b.P99MS > opts.MaxP99Growth {
 			issues = append(issues, TrendIssue{
 				Scenario: b.Name, Metric: "p99_ms", Base: b.P99MS, Head: h.P99MS,
+			})
+		}
+		issues = append(issues, compareServices(b, h, opts)...)
+	}
+	return issues
+}
+
+// compareServices diffs one scenario's per-service shed and admission
+// counters — the isolation check: a regression that starves or sheds one
+// co-located service can hide behind a healthy aggregate.
+func compareServices(b, h *Report, opts TrendOptions) []TrendIssue {
+	var issues []TrendIssue
+	for i := range b.Services {
+		bs := &b.Services[i]
+		var hs *ServiceReport
+		for j := range h.Services {
+			if h.Services[j].Model == bs.Model && h.Services[j].Service == bs.Service {
+				hs = &h.Services[j]
+				break
+			}
+		}
+		name := fmt.Sprintf("%s[%d:%s]", b.Name, bs.Service, bs.Model)
+		if hs == nil {
+			issues = append(issues, TrendIssue{Scenario: name, Metric: "missing"})
+			continue
+		}
+		shedCeil := float64(bs.RejectedDegraded)*(1+opts.MaxShedGrowth) + opts.CountSlack
+		if float64(hs.RejectedDegraded) > shedCeil {
+			issues = append(issues, TrendIssue{
+				Scenario: name, Metric: "rejected_degraded",
+				Base: float64(bs.RejectedDegraded), Head: float64(hs.RejectedDegraded),
+			})
+		}
+		admitFloor := float64(bs.Admitted)*(1-opts.MaxAdmittedDrop) - opts.CountSlack
+		if float64(hs.Admitted) < admitFloor {
+			issues = append(issues, TrendIssue{
+				Scenario: name, Metric: "admitted",
+				Base: float64(bs.Admitted), Head: float64(hs.Admitted),
+			})
+		}
+	}
+	return issues
+}
+
+// PredictBench is one Go benchmark result inside BENCH_predict.json — the
+// prediction-hot-path microbenchmarks (MLP batched forward, span search,
+// gateway round).
+type PredictBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// PredictArtifact is the BENCH_predict.json shape: hot-path benchmark
+// results, uploaded by the bench lane next to BENCH_gateway.json.
+type PredictArtifact struct {
+	// WallSeconds is wall-clock and ignored by trend comparison.
+	WallSeconds float64        `json:"wall_seconds,omitempty"`
+	Benchmarks  []PredictBench `json:"benchmarks"`
+}
+
+// ParsePredictArtifact decodes a prediction benchmark artifact.
+func ParsePredictArtifact(data []byte) (PredictArtifact, error) {
+	var a PredictArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return PredictArtifact{}, fmt.Errorf("chaos: parsing predict artifact: %w", err)
+	}
+	if len(a.Benchmarks) == 0 {
+		return PredictArtifact{}, fmt.Errorf("chaos: predict artifact has no benchmarks")
+	}
+	return a, nil
+}
+
+// PredictTrendOptions sets the hot-path regression tolerances. Allocation
+// counts are deterministic, so their tolerance is tight; ns/op is
+// wall-clock and shared-runner noisy, so its tolerance is generous — the
+// alloc gate is the reliable tripwire.
+type PredictTrendOptions struct {
+	// MaxNsGrowth is the largest tolerated relative ns/op increase
+	// (default 0.50 = 50%, generous because CI runners share hardware).
+	MaxNsGrowth float64
+	// MaxAllocsGrowth is the largest tolerated relative allocs/op increase
+	// (default 0.10).
+	MaxAllocsGrowth float64
+	// AllocSlack is the absolute allocs/op allowance on top of
+	// MaxAllocsGrowth, so near-zero baselines do not flag on +1 (default 2).
+	AllocSlack float64
+}
+
+func (o PredictTrendOptions) withDefaults() PredictTrendOptions {
+	if o.MaxNsGrowth <= 0 {
+		o.MaxNsGrowth = 0.50
+	}
+	if o.MaxAllocsGrowth <= 0 {
+		o.MaxAllocsGrowth = 0.10
+	}
+	if o.AllocSlack <= 0 {
+		o.AllocSlack = 2
+	}
+	return o
+}
+
+// ComparePredictTrend diffs two prediction benchmark artifacts by
+// benchmark name: a benchmark dropped from the suite, allocs/op growth
+// beyond the tolerance, or ns/op growth beyond the (generous) tolerance.
+// Issues come back in base order.
+func ComparePredictTrend(base, head PredictArtifact, opts PredictTrendOptions) []TrendIssue {
+	opts = opts.withDefaults()
+	byName := make(map[string]PredictBench, len(head.Benchmarks))
+	for _, b := range head.Benchmarks {
+		byName[b.Name] = b
+	}
+	var issues []TrendIssue
+	for _, b := range base.Benchmarks {
+		h, ok := byName[b.Name]
+		if !ok {
+			issues = append(issues, TrendIssue{Scenario: b.Name, Metric: "missing"})
+			continue
+		}
+		if h.AllocsPerOp > b.AllocsPerOp*(1+opts.MaxAllocsGrowth)+opts.AllocSlack {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "allocs_per_op", Base: b.AllocsPerOp, Head: h.AllocsPerOp,
+			})
+		}
+		if b.NsPerOp > 0 && (h.NsPerOp-b.NsPerOp)/b.NsPerOp > opts.MaxNsGrowth {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "ns_per_op", Base: b.NsPerOp, Head: h.NsPerOp,
 			})
 		}
 	}

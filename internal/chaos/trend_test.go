@@ -68,6 +68,127 @@ func TestCompareTrendCustomTolerances(t *testing.T) {
 	}
 }
 
+// svcRep attaches per-service counters to a report.
+func svcRep(name string, goodput, p99 float64, services ...ServiceReport) *Report {
+	r := rep(name, goodput, p99)
+	r.Services = services
+	return r
+}
+
+func TestCompareTrendFlagsPerServiceShed(t *testing.T) {
+	base := art(svcRep("bias-one", 0.99, 30,
+		ServiceReport{Service: 0, Model: "Res152", Admitted: 400, RejectedDegraded: 50},
+		ServiceReport{Service: 1, Model: "IncepV3", Admitted: 300, RejectedDegraded: 0}))
+	// One service sheds far more while the aggregate stays healthy: the
+	// isolation regression the per-service rules exist to catch.
+	head := art(svcRep("bias-one", 0.99, 30,
+		ServiceReport{Service: 0, Model: "Res152", Admitted: 400, RejectedDegraded: 50},
+		ServiceReport{Service: 1, Model: "IncepV3", Admitted: 300, RejectedDegraded: 40}))
+	issues := CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "rejected_degraded" ||
+		issues[0].Scenario != "bias-one[1:IncepV3]" {
+		t.Fatalf("want one per-service shed issue, got %v", issues)
+	}
+	// Growth within tolerance+slack passes.
+	head = art(svcRep("bias-one", 0.99, 30,
+		ServiceReport{Service: 0, Model: "Res152", Admitted: 400, RejectedDegraded: 55},
+		ServiceReport{Service: 1, Model: "IncepV3", Admitted: 300, RejectedDegraded: 2}))
+	if issues := CompareTrend(base, head, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("tolerated shed growth flagged: %v", issues)
+	}
+}
+
+func TestCompareTrendFlagsPerServiceAdmittedDrop(t *testing.T) {
+	base := art(svcRep("baseline", 1.0, 20,
+		ServiceReport{Service: 0, Model: "Res152", Admitted: 400},
+		ServiceReport{Service: 1, Model: "IncepV3", Admitted: 300}))
+	head := art(svcRep("baseline", 1.0, 20,
+		ServiceReport{Service: 0, Model: "Res152", Admitted: 400},
+		ServiceReport{Service: 1, Model: "IncepV3", Admitted: 250}))
+	issues := CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "admitted" ||
+		issues[0].Scenario != "baseline[1:IncepV3]" {
+		t.Fatalf("want one per-service admitted issue, got %v", issues)
+	}
+	// A service missing from head is flagged even when the aggregate holds.
+	head = art(svcRep("baseline", 1.0, 20,
+		ServiceReport{Service: 0, Model: "Res152", Admitted: 400}))
+	issues = CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "missing" ||
+		issues[0].Scenario != "baseline[1:IncepV3]" {
+		t.Fatalf("want one missing-service issue, got %v", issues)
+	}
+	if issues := CompareTrend(base, base, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("identical per-service artifacts flagged: %v", issues)
+	}
+}
+
+func predictArt(benches ...PredictBench) PredictArtifact {
+	return PredictArtifact{Benchmarks: benches}
+}
+
+func TestComparePredictTrend(t *testing.T) {
+	base := predictArt(
+		PredictBench{Name: "BenchmarkMLPPredictBatch/B=64", NsPerOp: 84000, AllocsPerOp: 1, BytesPerOp: 512},
+		PredictBench{Name: "BenchmarkMaxFeasibleSpan", NsPerOp: 21000, AllocsPerOp: 8, BytesPerOp: 1272})
+	if issues := ComparePredictTrend(base, base, PredictTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("identical predict artifacts flagged: %v", issues)
+	}
+	// Alloc regression beyond relative tolerance + slack.
+	head := predictArt(
+		PredictBench{Name: "BenchmarkMLPPredictBatch/B=64", NsPerOp: 84000, AllocsPerOp: 1, BytesPerOp: 512},
+		PredictBench{Name: "BenchmarkMaxFeasibleSpan", NsPerOp: 21000, AllocsPerOp: 40, BytesPerOp: 9000})
+	issues := ComparePredictTrend(base, head, PredictTrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "allocs_per_op" {
+		t.Fatalf("want one allocs issue, got %v", issues)
+	}
+	// +2 allocs on a tiny baseline stays within slack.
+	head = predictArt(
+		PredictBench{Name: "BenchmarkMLPPredictBatch/B=64", NsPerOp: 84000, AllocsPerOp: 3, BytesPerOp: 512},
+		PredictBench{Name: "BenchmarkMaxFeasibleSpan", NsPerOp: 21000, AllocsPerOp: 8, BytesPerOp: 1272})
+	if issues := ComparePredictTrend(base, head, PredictTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("slack-covered alloc growth flagged: %v", issues)
+	}
+	// Large ns/op growth trips the generous gate; moderate growth does not.
+	head = predictArt(
+		PredictBench{Name: "BenchmarkMLPPredictBatch/B=64", NsPerOp: 200000, AllocsPerOp: 1, BytesPerOp: 512},
+		PredictBench{Name: "BenchmarkMaxFeasibleSpan", NsPerOp: 25000, AllocsPerOp: 8, BytesPerOp: 1272})
+	issues = ComparePredictTrend(base, head, PredictTrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "ns_per_op" {
+		t.Fatalf("want one ns/op issue, got %v", issues)
+	}
+	// Dropped benchmark.
+	head = predictArt(base.Benchmarks[0])
+	issues = ComparePredictTrend(base, head, PredictTrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "missing" ||
+		issues[0].Scenario != "BenchmarkMaxFeasibleSpan" {
+		t.Fatalf("want one missing-benchmark issue, got %v", issues)
+	}
+}
+
+func TestParsePredictArtifact(t *testing.T) {
+	a := PredictArtifact{WallSeconds: 2, Benchmarks: []PredictBench{
+		{Name: "BenchmarkMaxFeasibleSpan", NsPerOp: 21000, AllocsPerOp: 8},
+	}}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePredictArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks[0].Name != "BenchmarkMaxFeasibleSpan" || got.WallSeconds != 2 {
+		t.Fatalf("round trip mangled artifact: %+v", got)
+	}
+	if _, err := ParsePredictArtifact([]byte(`{"benchmarks": []}`)); err == nil {
+		t.Fatal("empty predict artifact accepted")
+	}
+	if _, err := ParsePredictArtifact([]byte(`nope`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
 func TestParseArtifactRoundTrip(t *testing.T) {
 	a := Artifact{WallSeconds: 1.5, Reports: []*Report{rep("baseline", 1.0, 20)}}
 	data, err := json.Marshal(a)

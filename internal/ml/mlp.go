@@ -29,10 +29,29 @@ type MLP struct {
 	targets targetScaler
 	layers  []denseLayer
 
-	// scratch pools per-prediction activation buffers. A fitted MLP is
+	// scratch pools batch-sized activation matrices. A fitted MLP is
 	// read-only, and pooling (instead of one shared buffer set) keeps
-	// Predict safe for the concurrent sweeps that share one trained model.
+	// Predict and PredictBatch safe for the concurrent sweeps that share
+	// one trained model.
 	scratch *sync.Pool
+	// maxDim is the widest layer dimension (input included): one B×maxDim
+	// matrix can hold any layer's batch activations.
+	maxDim int
+}
+
+// batchScratch is one pooled pair of ping-pong activation matrices for the
+// batched forward pass, grown on demand to the largest batch seen.
+type batchScratch struct {
+	a, b []float64
+}
+
+func (s *batchScratch) ensure(n int) {
+	if cap(s.a) < n {
+		s.a = make([]float64, n)
+	}
+	if cap(s.b) < n {
+		s.b = make([]float64, n)
+	}
 }
 
 // denseLayer is one affine layer: out = W·in + b, W stored row-major
@@ -259,21 +278,91 @@ func (l *denseLayer) adamStep(g denseGrads, scale, lr, beta1, beta2, eps float64
 }
 
 func (m *MLP) initScratch() {
-	dims := make([]int, len(m.layers)+1)
-	dims[0] = m.layers[0].in
+	m.maxDim = m.layers[0].in
 	for l := range m.layers {
-		dims[l+1] = m.layers[l].out
-	}
-	m.scratch = &sync.Pool{New: func() any {
-		bufs := make([][]float64, len(dims))
-		for i, d := range dims {
-			bufs[i] = make([]float64, d)
+		if m.layers[l].out > m.maxDim {
+			m.maxDim = m.layers[l].out
 		}
-		return &bufs
-	}}
+	}
+	m.scratch = &sync.Pool{New: func() any { return &batchScratch{} }}
 }
 
-// Predict evaluates the network at one raw feature vector.
+// forwardLayerBatch applies one dense layer to a B×in row-major activation
+// matrix, writing a B×out matrix. Samples are blocked four wide so each
+// weight-row load feeds four independent accumulator chains; every
+// accumulator still starts at the bias and adds terms in ascending input
+// order, the exact float sequence of the scalar path, so blocked and
+// per-sample evaluation are bit-identical.
+func forwardLayerBatch(lay *denseLayer, in, out []float64, B int, relu bool) {
+	ind, outd := lay.in, lay.out
+	b := 0
+	for ; b+4 <= B; b += 4 {
+		x0 := in[(b+0)*ind : (b+1)*ind]
+		x1 := in[(b+1)*ind : (b+2)*ind]
+		x2 := in[(b+2)*ind : (b+3)*ind]
+		x3 := in[(b+3)*ind : (b+4)*ind]
+		for o := 0; o < outd; o++ {
+			row := lay.W[o*ind : (o+1)*ind]
+			s0, s1, s2, s3 := lay.B[o], lay.B[o], lay.B[o], lay.B[o]
+			for i, w := range row {
+				s0 += w * x0[i]
+				s1 += w * x1[i]
+				s2 += w * x2[i]
+				s3 += w * x3[i]
+			}
+			if relu {
+				if s0 < 0 {
+					s0 = 0
+				}
+				if s1 < 0 {
+					s1 = 0
+				}
+				if s2 < 0 {
+					s2 = 0
+				}
+				if s3 < 0 {
+					s3 = 0
+				}
+			}
+			out[(b+0)*outd+o] = s0
+			out[(b+1)*outd+o] = s1
+			out[(b+2)*outd+o] = s2
+			out[(b+3)*outd+o] = s3
+		}
+	}
+	for ; b < B; b++ {
+		x := in[b*ind : (b+1)*ind]
+		for o := 0; o < outd; o++ {
+			row := lay.W[o*ind : (o+1)*ind]
+			s := lay.B[o]
+			for i, w := range row {
+				s += w * x[i]
+			}
+			if relu && s < 0 {
+				s = 0
+			}
+			out[b*outd+o] = s
+		}
+	}
+}
+
+// forwardPooled runs the layer stack over the already-standardized B×in
+// matrix in s.a and returns the B×1 output column (a view into the
+// scratch, valid until s is reused).
+func (m *MLP) forwardPooled(s *batchScratch, B int) []float64 {
+	ping, pong := s.a, s.b
+	cur := ping[:B*m.layers[0].in]
+	for l := range m.layers {
+		out := pong[:B*m.layers[l].out]
+		forwardLayerBatch(&m.layers[l], cur, out, B, l != len(m.layers)-1)
+		cur = out
+		ping, pong = pong, ping
+	}
+	return cur
+}
+
+// Predict evaluates the network at one raw feature vector — the B=1 case
+// of the batched forward.
 func (m *MLP) Predict(x []float64) float64 {
 	if m.layers == nil {
 		panic("ml: MLP.Predict before Fit")
@@ -281,24 +370,53 @@ func (m *MLP) Predict(x []float64) float64 {
 	if len(x) != m.layers[0].in {
 		panic(fmt.Sprintf("ml: MLP input width %d, want %d", len(x), m.layers[0].in))
 	}
-	bufs := m.scratch.Get().(*[][]float64)
-	acts := *bufs
-	m.scaler.TransformTo(acts[0], x)
-	m.forward(acts[0], acts)
-	y := m.targets.unscale(acts[len(acts)-1][0])
-	m.scratch.Put(bufs)
+	s := m.scratch.Get().(*batchScratch)
+	s.ensure(m.maxDim)
+	m.scaler.TransformTo(s.a[:len(x)], x)
+	y := m.targets.unscale(m.forwardPooled(s, 1)[0])
+	m.scratch.Put(s)
 	return y
 }
 
 // PredictBatch evaluates the network over a batch of raw feature vectors —
 // the batched evaluation the paper's multi-way search feeds the duration
-// model (§6.3).
+// model (§6.3). One blocked matrix-multiply per layer over pooled scratch;
+// outputs are bit-identical to calling Predict per row.
 func (m *MLP) PredictBatch(X [][]float64) []float64 {
 	out := make([]float64, len(X))
-	for i, x := range X {
-		out[i] = m.Predict(x)
-	}
+	m.PredictBatchTo(out, X)
 	return out
+}
+
+// PredictBatchTo is PredictBatch into a caller-owned destination
+// (len(dst) == len(X)): beyond the pooled scratch it does not allocate,
+// which keeps the scheduler's span search off the garbage collector.
+func (m *MLP) PredictBatchTo(dst []float64, X [][]float64) {
+	if m.layers == nil {
+		panic("ml: MLP.PredictBatch before Fit")
+	}
+	if len(dst) != len(X) {
+		panic(fmt.Sprintf("ml: PredictBatchTo dst length %d, want %d", len(dst), len(X)))
+	}
+	B := len(X)
+	if B == 0 {
+		return
+	}
+	ind := m.layers[0].in
+	s := m.scratch.Get().(*batchScratch)
+	s.ensure(B * m.maxDim)
+	for i, x := range X {
+		if len(x) != ind {
+			m.scratch.Put(s)
+			panic(fmt.Sprintf("ml: MLP input width %d, want %d", len(x), ind))
+		}
+		m.scaler.TransformTo(s.a[i*ind:(i+1)*ind], x)
+	}
+	out := m.forwardPooled(s, B)
+	for i := range dst {
+		dst[i] = m.targets.unscale(out[i])
+	}
+	m.scratch.Put(s)
 }
 
 // ParamCount returns the number of trainable parameters (the paper's §7.8

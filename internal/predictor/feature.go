@@ -52,9 +52,20 @@ func (c Codec) EncodeTo(dst []float64, g Group) {
 	for i := range dst {
 		dst[i] = 0
 	}
-	for slot, e := range g.sorted() {
+	for i := range g {
+		e := g[i]
 		if int(e.Model) >= c.NumModels {
 			panic(fmt.Sprintf("predictor: model id %d outside codec's %d models", e.Model, c.NumModels))
+		}
+		// Slot rank without materialising g.sorted(): models are distinct
+		// (Validate above), so the count of smaller ids is the canonical
+		// ascending-model slot. Groups hold at most MaxCoLocated entries,
+		// so the quadratic rank scan is a handful of comparisons.
+		slot := 0
+		for j := range g {
+			if g[j].Model < e.Model {
+				slot++
+			}
 		}
 		dst[e.Model] = 1
 		base := c.NumModels + 4*slot

@@ -147,19 +147,48 @@ func (p *Predictor) PredictBatch(gs []Group) []float64 {
 	for i, g := range gs {
 		X[i] = p.codec.Encode(g)
 	}
+	out := make([]float64, len(gs))
+	p.PredictEncoded(X, out)
+	return out
+}
+
+// EncodedPredictor is the allocation-free fast path of the span search:
+// a latency model that can evaluate feature rows already encoded with its
+// Codec, skipping the Group materialisation and double encode per probe.
+// Only the trained *Predictor implements it — wrapper models (perturbation,
+// calibration, memoization) need the Group structure and fall back to
+// PredictBatch.
+type EncodedPredictor interface {
+	LatencyModel
+	Codec() Codec
+	// PredictEncoded writes one prediction per row into dst. Each row must
+	// have length Codec().Width() and dst length len(rows).
+	PredictEncoded(rows [][]float64, dst []float64)
+}
+
+// PredictEncoded implements EncodedPredictor. The rows are evaluated with
+// the exact batched forward PredictBatch uses, so encoded and Group-based
+// predictions are bit-identical.
+func (p *Predictor) PredictEncoded(rows [][]float64, dst []float64) {
+	if len(dst) != len(rows) {
+		panic(fmt.Sprintf("predictor: PredictEncoded dst length %d, want %d", len(dst), len(rows)))
+	}
 	switch m := p.model.(type) {
 	case *ml.MLP:
-		return m.PredictBatch(X)
+		m.PredictBatchTo(dst, rows)
+		return
 	case *logModel:
 		if mlp, ok := m.inner.(*ml.MLP); ok {
-			out := mlp.PredictBatch(X)
-			for i := range out {
-				out[i] = math.Exp(out[i])
+			mlp.PredictBatchTo(dst, rows)
+			for i := range dst {
+				dst[i] = math.Exp(dst[i])
 			}
-			return out
+			return
 		}
 	}
-	return ml.PredictAll(p.model, X)
+	for i, r := range rows {
+		dst[i] = p.model.Predict(r)
+	}
 }
 
 // Evaluate returns the MAPE of the predictor over held-out samples

@@ -31,6 +31,7 @@ type Abacus struct {
 
 	queues   map[int][]*Query // service ID → FIFO
 	services []*Service
+	search   SpanSearcher // reusable multi-way search scratch
 
 	inFlight *formedGroup // issued, executing
 	next     *formedGroup // formed, awaiting executor (and formation delay)

@@ -5,6 +5,39 @@ import (
 	"abacus/internal/predictor"
 )
 
+// SpanSearcher runs the paper's multi-way span search (§6.3) over reusable
+// scratch, so steady-state scheduling rounds probe candidate spans without
+// allocating. Two probe paths:
+//
+//   - Encoded fast path, when the model implements
+//     predictor.EncodedPredictor: the base group plus candidate entry are
+//     validated and encoded once per search into a template feature row;
+//     each probe copies the template and patches the candidate's opEnd
+//     scalar in place, skipping the per-probe Group copy, re-validation,
+//     and re-sort that used to dominate small-group encodes.
+//   - Generic path, for wrapper models (perturbation, calibration,
+//     memoization) that need Group structure: one backing entry array holds
+//     all probe groups, base entries are written once per search, and only
+//     the candidate's OpEnd mutates per probe.
+//
+// Both paths preserve the probe group's [base..., candidate] entry order
+// and probe schedule exactly, so predictions — and therefore experiment and
+// chaos reports — are bit-identical to the copying implementation.
+// A SpanSearcher is not safe for concurrent use.
+type SpanSearcher struct {
+	probes []int
+	lats   []float64
+
+	// Encoded-path scratch.
+	template []float64
+	flat     []float64
+	rows     [][]float64
+
+	// Generic-path scratch.
+	entries []predictor.Entry
+	groups  []predictor.Group
+}
+
 // MaxFeasibleSpan finds the largest k such that extending the group with
 // operators [e.OpStart, e.OpStart+k) of entry e keeps the predicted group
 // latency within budget. It implements the paper's multi-way search (§6.3):
@@ -15,8 +48,17 @@ import (
 // e.OpEnd is ignored; maxSpan bounds the search. It returns the span
 // length, the predicted latency of the group with that span added
 // (meaningful when k > 0), and the number of batched prediction rounds
-// spent.
+// spent. It is a convenience wrapper over a fresh SpanSearcher; hot paths
+// should hold a SpanSearcher and call Search to reuse its scratch.
 func MaxFeasibleSpan(model predictor.LatencyModel, base predictor.Group, e predictor.Entry,
+	maxSpan int, budget float64, ways int) (k int, lat float64, rounds int) {
+	var s SpanSearcher
+	return s.Search(model, base, e, maxSpan, budget, ways)
+}
+
+// Search runs one multi-way span search. See MaxFeasibleSpan for the
+// contract.
+func (s *SpanSearcher) Search(model predictor.LatencyModel, base predictor.Group, e predictor.Entry,
 	maxSpan int, budget float64, ways int) (k int, lat float64, rounds int) {
 	if maxSpan <= 0 {
 		return 0, 0, 0
@@ -24,23 +66,39 @@ func MaxFeasibleSpan(model predictor.LatencyModel, base predictor.Group, e predi
 	if ways < 1 {
 		ways = 1
 	}
-	withSpan := func(n int) predictor.Group {
-		g := append(predictor.Group(nil), base...)
-		ee := e
-		ee.OpEnd = ee.OpStart + n
-		return append(g, ee)
+	if cap(s.lats) < ways {
+		s.lats = make([]float64, ways)
+	}
+
+	enc, encoded := model.(predictor.EncodedPredictor)
+	var opEndIdx int
+	if encoded {
+		opEndIdx = s.prepareEncoded(enc.Codec(), base, e, maxSpan)
+	} else {
+		s.prepareGroups(base, e, ways)
 	}
 
 	lo, hi := 0, maxSpan // lo is known feasible (adding nothing), hi unknown
 	var loLat float64
 	for lo < hi {
 		// Probe `ways` points in (lo, hi], always including hi.
-		probes := probePoints(lo, hi, ways)
-		groups := make([]predictor.Group, len(probes))
-		for i, p := range probes {
-			groups[i] = withSpan(p)
+		s.probes = appendProbePoints(s.probes[:0], lo, hi, ways)
+		probes := s.probes
+		lats := s.lats[:len(probes)]
+		if encoded {
+			for i, p := range probes {
+				row := s.rows[i]
+				copy(row, s.template)
+				row[opEndIdx] = float64(e.OpStart + p)
+			}
+			enc.PredictEncoded(s.rows[:len(probes)], lats)
+		} else {
+			stride := len(base) + 1
+			for i, p := range probes {
+				s.entries[i*stride+len(base)].OpEnd = e.OpStart + p
+			}
+			copy(lats, model.PredictBatch(s.groups[:len(probes)]))
 		}
-		lats := model.PredictBatch(groups)
 		rounds++
 
 		// Latency is monotone in span length; find the split point.
@@ -65,7 +123,71 @@ func MaxFeasibleSpan(model predictor.LatencyModel, base predictor.Group, e predi
 	return lo, loLat, rounds
 }
 
-// searchSpan adapts MaxFeasibleSpan to the controller's bookkeeping.
+// prepareEncoded validates the probe group once and encodes it into the
+// template row at the candidate's maximal span, returning the flat index of
+// the candidate's opEnd feature — the only scalar that varies across probes.
+func (s *SpanSearcher) prepareEncoded(codec predictor.Codec, base predictor.Group, e predictor.Entry, maxSpan int) int {
+	if cap(s.entries) < len(base)+1 {
+		s.entries = make([]predictor.Entry, len(base)+1)
+	}
+	g := predictor.Group(s.entries[:0])
+	g = append(g, base...)
+	e.OpEnd = e.OpStart + maxSpan
+	g = append(g, e)
+
+	w := codec.Width()
+	if cap(s.template) < w {
+		s.template = make([]float64, w)
+	}
+	s.template = s.template[:w]
+	codec.EncodeTo(s.template, g) // validates base+candidate once per search
+
+	need := cap(s.lats) * w
+	if cap(s.flat) < need {
+		s.flat = make([]float64, need)
+	}
+	if cap(s.rows) < cap(s.lats) {
+		s.rows = make([][]float64, cap(s.lats))
+	}
+	s.rows = s.rows[:cap(s.lats)]
+	for i := range s.rows {
+		s.rows[i] = s.flat[i*w : (i+1)*w]
+	}
+
+	// The candidate's slot is its rank in the canonical ascending-model
+	// order (models in a valid group are distinct).
+	slot := 0
+	for _, b := range base {
+		if b.Model < e.Model {
+			slot++
+		}
+	}
+	return codec.NumModels + 4*slot + 1
+}
+
+// prepareGroups lays out `ways` probe groups over one backing entry array:
+// [base..., candidate] per group, with only the candidate's OpEnd mutated
+// per probe.
+func (s *SpanSearcher) prepareGroups(base predictor.Group, e predictor.Entry, ways int) {
+	stride := len(base) + 1
+	need := ways * stride
+	if cap(s.entries) < need {
+		s.entries = make([]predictor.Entry, need)
+	}
+	s.entries = s.entries[:need]
+	if cap(s.groups) < ways {
+		s.groups = make([]predictor.Group, ways)
+	}
+	s.groups = s.groups[:ways]
+	for i := 0; i < ways; i++ {
+		g := s.entries[i*stride : (i+1)*stride]
+		copy(g, base)
+		g[len(base)] = e // OpEnd patched per probe
+		s.groups[i] = predictor.Group(g)
+	}
+}
+
+// searchSpan adapts the span search to the controller's bookkeeping.
 func (a *Abacus) searchSpan(base *formedGroup, q *Query, budget float64) (k int, lat float64, rounds int) {
 	remaining := dnn.Get(q.Service.Model).NumOps() - q.posted
 	entry := predictor.Entry{
@@ -74,7 +196,7 @@ func (a *Abacus) searchSpan(base *formedGroup, q *Query, budget float64) (k int,
 		Batch:   q.Input.Batch,
 		SeqLen:  q.Input.SeqLen,
 	}
-	return MaxFeasibleSpan(a.model, base.group(), entry, remaining, budget, a.cfg.Ways)
+	return a.search.Search(a.model, base.group(), entry, remaining, budget, a.cfg.Ways)
 }
 
 // probePoints returns up to `ways` strictly increasing integers in
@@ -82,14 +204,19 @@ func (a *Abacus) searchSpan(base *formedGroup, q *Query, budget float64) (k int,
 // round shrinks it geometrically: 1-way search is binary search, m-way
 // search converges in O(log_{m+1} N) rounds (§6.3's complexity claim).
 func probePoints(lo, hi, ways int) []int {
+	return appendProbePoints(nil, lo, hi, ways)
+}
+
+// appendProbePoints appends the probe schedule to dst, reusing its backing
+// array across rounds.
+func appendProbePoints(dst []int, lo, hi, ways int) []int {
 	span := hi - lo
 	if span <= 0 {
-		return nil
+		return dst
 	}
 	if ways > span {
 		ways = span
 	}
-	out := make([]int, 0, ways)
 	prev := lo
 	for i := 1; i <= ways; i++ {
 		p := lo + (span*i)/(ways+1)
@@ -99,8 +226,8 @@ func probePoints(lo, hi, ways int) []int {
 		if p > hi {
 			break
 		}
-		out = append(out, p)
+		dst = append(dst, p)
 		prev = p
 	}
-	return out
+	return dst
 }

@@ -128,6 +128,27 @@ func renderMetrics(st Statz) []byte {
 		emit("abacus_service_divergence_ewma{service=%q} %s\n", s.Model, promFloat(s.Divergence))
 	}
 
+	if st.PredictCache != nil {
+		pc := st.PredictCache
+		head("abacus_predict_cache_size", "gauge", "Group signatures currently memoized.")
+		emit("abacus_predict_cache_size %d\n", pc.Size)
+
+		head("abacus_predict_cache_capacity", "gauge", "Memoization cache capacity (signatures).")
+		emit("abacus_predict_cache_capacity %d\n", pc.Capacity)
+
+		head("abacus_predict_cache_hits_total", "counter", "Predictions answered from the group-signature cache.")
+		emit("abacus_predict_cache_hits_total %d\n", pc.Hits)
+
+		head("abacus_predict_cache_misses_total", "counter", "Predictions the duration model actually computed.")
+		emit("abacus_predict_cache_misses_total %d\n", pc.Misses)
+
+		head("abacus_predict_cache_evictions_total", "counter", "Signatures evicted by the clock hand.")
+		emit("abacus_predict_cache_evictions_total %d\n", pc.Evictions)
+
+		head("abacus_predict_cache_invalidations_total", "counter", "Whole-cache invalidations (calibration refits).")
+		emit("abacus_predict_cache_invalidations_total %d\n", pc.Invalidations)
+	}
+
 	if st.Calibration != nil {
 		cal := 0
 		if st.Calibration.Enabled {

@@ -79,6 +79,13 @@ type Config struct {
 	// DedupeWindow is how many completed request IDs the idempotency cache
 	// remembers (default 4096).
 	DedupeWindow int
+	// PredictCache bounds the group-signature memoization cache wrapped
+	// around the duration model (predictor.Memoized): steady-state
+	// scheduling rounds re-predict the same group signatures, and the cache
+	// answers repeats without re-running the MLP. 0 selects the default
+	// (4096 signatures); negative disables caching. Calibration refits
+	// invalidate the cache, so corrected predictions are never stale.
+	PredictCache int
 }
 
 // Server is the gateway. Construct with New, then Start before serving its
@@ -89,6 +96,7 @@ type Server struct {
 	bridge  *realtime.Bridge
 	mux     *http.ServeMux
 	admit   *admit.Admitter           // loop-goroutine state
+	memo    *predictor.Memoized       // loop-goroutine state; nil when the predict cache is off
 	tracker *calib.Tracker            // loop-goroutine state; nil when calibration is off
 	pending map[*sched.Query]*pending // loop-goroutine state
 	byID    map[string]*pending       // loop-goroutine state: in-flight idempotency keys
@@ -223,6 +231,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DedupeWindow <= 0 {
 		cfg.DedupeWindow = 4096
 	}
+	if cfg.PredictCache == 0 {
+		cfg.PredictCache = 4096
+	}
 	s := &Server{
 		cfg:     cfg,
 		pending: make(map[*sched.Query]*pending),
@@ -237,12 +248,24 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Calib != nil {
 		cc := *cfg.Calib
-		// Correction updates move the admitter's memoized solo predictions;
-		// drop them so the next verdict sees the corrected model. s.admit is
-		// assigned below, before the bridge starts delivering feedback.
-		cc.OnUpdate = func(int) { s.admit.InvalidateCache() }
+		// Correction updates move both the admitter's memoized solo
+		// predictions and the group-signature cache; drop them so the next
+		// verdict sees the corrected model. s.admit and s.memo are assigned
+		// below, before the bridge starts delivering feedback.
+		cc.OnUpdate = func(int) {
+			s.admit.InvalidateCache()
+			if s.memo != nil {
+				s.memo.InvalidateAll()
+			}
+		}
 		s.tracker = calib.NewTracker(cc, cfg.Models)
 		model = calib.NewCalibrated(model, s.tracker)
+	}
+	if cfg.PredictCache > 0 {
+		// The memo sits above calibration so cached values are corrected
+		// predictions; calibration refits invalidate it via OnUpdate above.
+		s.memo = predictor.NewMemoized(model, cfg.PredictCache)
+		model = s.memo
 	}
 	rt, err := core.New(core.Config{
 		Models:    cfg.Models,
@@ -616,6 +639,10 @@ type Statz struct {
 	// (per-service correction slope/intercept, sample counts, residual
 	// quantiles); nil when calibration is off.
 	Calibration *calib.Status `json:"calibration,omitempty"`
+	// PredictCache reports the group-signature memoization cache counters;
+	// nil when the cache is disabled. Misses equal the predictions the
+	// duration model actually computed — the honest measure of model work.
+	PredictCache *predictor.MemoStats `json:"predict_cache,omitempty"`
 	// Faults are gateway-wide fault counters.
 	Faults   FaultStatz     `json:"faults"`
 	Services []ServiceStatz `json:"services"`
@@ -663,6 +690,7 @@ func (s *Server) statz() Statz {
 	var degrade admit.Status
 	var drift []admit.ServiceStatus
 	var calSt *calib.Status
+	var memoSt *predictor.MemoStats
 	var duplicates int64
 	_ = s.bridge.Do(func() {
 		s.admit.CopyOutstanding(depths)
@@ -672,6 +700,10 @@ func (s *Server) statz() Statz {
 		if s.tracker != nil {
 			cs := s.tracker.Snapshot()
 			calSt = &cs
+		}
+		if s.memo != nil {
+			ms := s.memo.Stats()
+			memoSt = &ms
 		}
 		duplicates = s.duplicates
 	})
@@ -684,6 +716,7 @@ func (s *Server) statz() Statz {
 		BacklogPredMS: backlog,
 		Degrade:       degrade,
 		Calibration:   calSt,
+		PredictCache:  memoSt,
 		Faults: FaultStatz{
 			Malformed:            s.malformed.Load(),
 			DuplicatesSuppressed: duplicates,

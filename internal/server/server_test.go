@@ -294,6 +294,63 @@ func TestMetricsEndpointValidates(t *testing.T) {
 	}
 }
 
+// TestPredictCacheStats: the default-on memoization cache surfaces its
+// counters on /statz and /metrics, records hits once signatures repeat, and
+// disappears from both when disabled.
+func TestPredictCacheStats(t *testing.T) {
+	_, c := newTestServer(t, Config{Models: []dnn.ModelID{dnn.ResNet50}, Speedup: 1000})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := c.Infer(ctx, InferRequest{Model: "Res50", Batch: 8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PredictCache == nil {
+		t.Fatal("statz missing predict_cache with the default-on cache")
+	}
+	if st.PredictCache.Capacity != 4096 || st.PredictCache.Misses == 0 {
+		t.Errorf("predict_cache stats = %+v", st.PredictCache)
+	}
+	if st.PredictCache.Hits == 0 {
+		t.Errorf("repeated identical queries produced no cache hits: %+v", st.PredictCache)
+	}
+	body, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Errorf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"abacus_predict_cache_size", "abacus_predict_cache_hits_total",
+		"abacus_predict_cache_misses_total", "abacus_predict_cache_evictions_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+
+	_, off := newTestServer(t, Config{Models: []dnn.ModelID{dnn.ResNet50}, Speedup: 1000, PredictCache: -1})
+	st, err = off.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PredictCache != nil {
+		t.Errorf("disabled cache still reports stats: %+v", st.PredictCache)
+	}
+	body, err = off.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), "abacus_predict_cache") {
+		t.Error("disabled cache still renders abacus_predict_cache_* metrics")
+	}
+}
+
 func TestValidateExpositionRejectsGarbage(t *testing.T) {
 	cases := []string{
 		"no_type_line 1\n",
