@@ -85,9 +85,12 @@ trend: bench-json bench-predict
 
 # Run the built-in fault suite and hold the recovery scenarios to their QoS
 # floor (the throttle50 baseline intentionally fails it, so the floor is
-# asserted on the degraded run only).
+# asserted on the degraded run only). The cluster scenario additionally pins
+# fault-driven migration: one of four nodes throttled to half speed must not
+# pull cluster goodput below the same floor.
 chaos:
 	$(GO) run ./cmd/abacus-chaos
 	$(GO) run ./cmd/abacus-chaos -scenario throttle50-degraded -assert-goodput 0.99
+	$(GO) run ./cmd/abacus-chaos -scenario cluster-node-throttle -assert-goodput 0.99
 
 ci: build vet fmt-check test-race

@@ -32,6 +32,7 @@ func main() {
 	list := flag.Bool("list", false, "list built-in scenarios and exit")
 	scriptFile := flag.String("script", "", "fault script file (JSON or CSV kind,start_ms,end_ms,magnitude[,mem]) replacing the built-ins")
 	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated model names for -script runs")
+	nodes := flag.Int("nodes", 1, "per-GPU nodes for -script runs; every node hosts every model, and windows may be node-scoped")
 	qps := flag.Float64("qps", 30, "aggregate offered load for -script runs, queries per second")
 	durationMS := flag.Float64("duration", 10000, "arrival window for -script runs, virtual ms")
 	seed := flag.Int64("seed", 11, "seed for arrivals, fault coins, and retry jitter in -script runs")
@@ -56,7 +57,7 @@ func main() {
 		return
 	}
 
-	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *modelsFlag, *qps, *durationMS, *seed, *degrade, *retry, *predictCache)
+	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *modelsFlag, *nodes, *qps, *durationMS, *seed, *degrade, *retry, *predictCache)
 	if err != nil {
 		fail(err)
 	}
@@ -102,7 +103,7 @@ func main() {
 }
 
 // selectScenarios resolves the flag combination into the scenario list.
-func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int) ([]chaos.Scenario, error) {
+func selectScenarios(name, scriptFile, modelsFlag string, nodes int, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int) ([]chaos.Scenario, error) {
 	if scriptFile != "" {
 		data, err := os.ReadFile(scriptFile)
 		if err != nil {
@@ -119,6 +120,7 @@ func selectScenarios(name, scriptFile, modelsFlag string, qps, durationMS float6
 		sc := chaos.Scenario{
 			Name:         strings.TrimSuffix(scriptFile, ".csv"),
 			Models:       models,
+			Nodes:        nodes,
 			QPS:          qps,
 			DurationMS:   durationMS,
 			Seed:         seed,

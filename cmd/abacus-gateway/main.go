@@ -8,6 +8,8 @@
 //
 //	abacus-gateway -addr 127.0.0.1:8080 -models Res152,IncepV3
 //	abacus-gateway -models Res101,Res152,VGG19,Bert -speedup 10 -queue-cap 32
+//	abacus-gateway -models Res152,IncepV3 -nodes 4       # replicated cluster
+//	abacus-gateway -models Res50,Res152,IncepV3 -placement 'Res50,Res152;IncepV3'
 package main
 
 import (
@@ -29,6 +31,8 @@ var fail = cli.Failer("abacus-gateway")
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated co-located models")
+	nodesFlag := flag.Int("nodes", 1, "per-GPU serving nodes behind the gateway; models are sharded by the overlap-gain grouping unless -placement pins them")
+	placementFlag := flag.String("placement", "", "pin the per-node placement: semicolon-separated nodes of comma-separated models (e.g. 'Res152,IncepV3;Res50'); overrides -nodes")
 	speedup := flag.Float64("speedup", 1, "virtual ms per wall ms (1 = real time)")
 	queueCap := flag.Int("queue-cap", 64, "admitted-but-unfinished queries per service before shedding")
 	qosFactor := flag.Float64("qos-factor", 2, "QoS target as a multiple of max-input solo latency")
@@ -48,8 +52,14 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	placement, err := cli.ParsePlacement(*placementFlag)
+	if err != nil {
+		fail(err)
+	}
 	cfg := abacus.GatewayConfig{
 		Models:       models,
+		Nodes:        *nodesFlag,
+		Placement:    placement,
 		QoSFactor:    *qosFactor,
 		Speedup:      *speedup,
 		QueueCap:     *queueCap,
@@ -87,8 +97,12 @@ func main() {
 	if *calibrate {
 		calNote = ", calibrating"
 	}
-	fmt.Printf("abacus-gateway serving %v on http://%s (speedup %g, queue cap %d%s)\n",
-		models, ln.Addr(), *speedup, *queueCap, calNote)
+	nodeNote := ""
+	if gw.NumNodes() > 1 {
+		nodeNote = fmt.Sprintf(", %d nodes", gw.NumNodes())
+	}
+	fmt.Printf("abacus-gateway serving %v on http://%s (speedup %g, queue cap %d%s%s)\n",
+		models, ln.Addr(), *speedup, *queueCap, nodeNote, calNote)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)

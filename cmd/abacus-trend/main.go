@@ -1,9 +1,11 @@
 // Command abacus-trend diffs two gateway benchmark artifacts
 // (BENCH_gateway.json, see abacus-chaos -o) and exits nonzero on a
 // regression: a scenario dropped from the suite, goodput down more than the
-// tolerance, p99 up more than the tolerance, or a single service shedding
-// or starving beyond the per-service tolerances. Every compared field is
-// deterministic, so the check is exact — no noise bands.
+// tolerance, p99 up more than the tolerance, a single service shedding
+// or starving beyond the per-service tolerances, or — in cluster scenarios —
+// one node's goodput dropping beyond the per-node tolerance even when the
+// cluster aggregate holds. Every compared field is deterministic, so the
+// check is exact — no noise bands.
 //
 // With -predict-base/-predict-head it also diffs the prediction hot-path
 // artifacts (BENCH_predict.json, see abacus-predictbench): allocs/op is
@@ -37,6 +39,7 @@ func main() {
 	maxP99Growth := flag.Float64("max-p99-growth", 0, "largest tolerated relative p99 increase (default 0.10)")
 	maxShedGrowth := flag.Float64("max-shed-growth", 0, "largest tolerated relative per-service degraded-shed increase (default 0.10)")
 	maxAdmittedDrop := flag.Float64("max-admitted-drop", 0, "largest tolerated relative per-service admitted decrease (default 0.05)")
+	maxNodeGoodputDrop := flag.Float64("max-node-goodput-drop", 0, "largest tolerated absolute per-node goodput decrease in cluster scenarios (default 0.01)")
 	maxNsGrowth := flag.Float64("max-ns-growth", 0, "largest tolerated relative ns/op increase in the predict artifact (default 0.50)")
 	maxAllocsGrowth := flag.Float64("max-allocs-growth", 0, "largest tolerated relative allocs/op increase in the predict artifact (default 0.10)")
 	version := flag.Bool("version", false, "print version and exit")
@@ -52,10 +55,11 @@ func main() {
 	base := readArtifact(*basePath)
 	head := readArtifact(*headPath)
 	issues := chaos.CompareTrend(base, head, chaos.TrendOptions{
-		MaxGoodputDrop:  *maxGoodputDrop,
-		MaxP99Growth:    *maxP99Growth,
-		MaxShedGrowth:   *maxShedGrowth,
-		MaxAdmittedDrop: *maxAdmittedDrop,
+		MaxGoodputDrop:     *maxGoodputDrop,
+		MaxP99Growth:       *maxP99Growth,
+		MaxShedGrowth:      *maxShedGrowth,
+		MaxAdmittedDrop:    *maxAdmittedDrop,
+		MaxNodeGoodputDrop: *maxNodeGoodputDrop,
 	})
 	fmt.Printf("compared %d base scenarios against %d head scenarios\n",
 		len(base.Reports), len(head.Reports))

@@ -146,6 +146,17 @@ func (a *Admitter) InvalidateCache() {
 	}
 }
 
+// InvalidateService drops only the memoized solo predictions of one service —
+// the per-service generation matching a calibration refit, which cannot
+// change any other service's solo latency.
+func (a *Admitter) InvalidateService(service int) {
+	for k := range a.soloCache {
+		if k.service == service {
+			delete(a.soloCache, k)
+		}
+	}
+}
+
 // Decide renders the admission verdict for a query of the given service
 // arriving now. sloMS <= 0 selects the service-wide QoS target.
 func (a *Admitter) Decide(now sim.Time, service int, in dnn.Input, sloMS float64) Decision {

@@ -18,6 +18,57 @@ func testAdmitter(t *testing.T, queueCap int, degrade *Degrade) (*Admitter, []*s
 	return New(model, profile, services, queueCap, 0.02, degrade), services
 }
 
+// countingModel counts inner predictions so cache generations are visible.
+type countingModel struct {
+	inner predictor.LatencyModel
+	calls int
+}
+
+func (m *countingModel) Predict(g predictor.Group) float64 {
+	m.calls++
+	return m.inner.Predict(g)
+}
+
+func (m *countingModel) PredictBatch(gs []predictor.Group) []float64 {
+	out := make([]float64, len(gs))
+	for i, g := range gs {
+		out[i] = m.Predict(g)
+	}
+	return out
+}
+
+// TestInvalidateServiceKeepsOtherServices pins the per-service solo-cache
+// generation: a calibration refit for one service must not evict the
+// memoized solo predictions of its neighbours.
+func TestInvalidateServiceKeepsOtherServices(t *testing.T) {
+	profile := gpusim.A100Profile()
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	services := sched.Services(models, 2, profile)
+	cm := &countingModel{inner: predictor.Oracle{Profile: profile}}
+	a := New(cm, profile, services, 4, 0.02, nil)
+
+	in := dnn.Input{Batch: 8}
+	v0, v1 := a.SoloPred(0, in), a.SoloPred(1, in)
+	if a.SoloPred(0, in) != v0 || a.SoloPred(1, in) != v1 || cm.calls != 2 {
+		t.Fatalf("warmup not cached: %d calls", cm.calls)
+	}
+
+	a.InvalidateService(1)
+	if a.SoloPred(0, in) != v0 || cm.calls != 2 {
+		t.Fatalf("invalidating service 1 evicted service 0: %d calls", cm.calls)
+	}
+	if a.SoloPred(1, in) != v1 || cm.calls != 3 {
+		t.Fatalf("service 1 not recomputed after its invalidation: %d calls", cm.calls)
+	}
+
+	a.InvalidateCache()
+	a.SoloPred(0, in)
+	a.SoloPred(1, in)
+	if cm.calls != 5 {
+		t.Fatalf("full invalidation left stale entries: %d calls", cm.calls)
+	}
+}
+
 func TestDecideAdmitsWithinSLO(t *testing.T) {
 	a, svcs := testAdmitter(t, 4, nil)
 	in := dnn.Input{Batch: 8}

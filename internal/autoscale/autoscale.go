@@ -30,11 +30,19 @@ type Plan struct {
 	CapacityQPS float64
 }
 
+// GroupServices returns the §7.8 overlap-gain co-location grouping without
+// the capacity simulation — the affinity seed for the online gateway's
+// default node placement, where sizing is the router's problem and only the
+// grouping matters.
+func GroupServices(models []dnn.ModelID, groupSize int, p gpusim.Profile) [][]dnn.ModelID {
+	return predictor.PartitionServices(models, groupSize, 16, p)
+}
+
 // BuildPlan partitions the services into co-location groups of size
 // groupSize and estimates the node's aggregate goodput capacity (one GPU
 // per group) by saturating each group's GPU in simulation.
 func BuildPlan(models []dnn.ModelID, groupSize int, p gpusim.Profile, seed int64) Plan {
-	groups := predictor.PartitionServices(models, groupSize, 16, p)
+	groups := GroupServices(models, groupSize, p)
 	var capacity float64
 	for _, group := range groups {
 		capacity += estimateGroupCapacity(group, p, seed)

@@ -5,6 +5,7 @@ import (
 
 	"abacus/internal/admit"
 	"abacus/internal/calib"
+	"abacus/internal/cluster"
 	"abacus/internal/core"
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
@@ -56,6 +57,13 @@ type Scenario struct {
 	Name string
 	// Models are the co-located services (default ResNet-152 + Inception-v3).
 	Models []dnn.ModelID
+	// Nodes is how many per-GPU nodes serve the deployment (default 1). With
+	// several, every node hosts every model (the replicated placement the
+	// online gateway defaults to for small deployments), all devices share
+	// one virtual clock, and the affinity router sends each query to the
+	// least-loaded node whose drift detector for its service is quiet —
+	// fault-driven migration included in the determinism guarantee.
+	Nodes int
 	// QPS is the total Poisson arrival rate (default 30).
 	QPS float64
 	// DurationMS is the arrival-window length in virtual ms (default 10000).
@@ -74,8 +82,9 @@ type Scenario struct {
 	Degrade admit.DegradeConfig
 	// Calib, when non-nil, enables online latency-model calibration: the
 	// scheduler and admission predict through a calib.Calibrated chain and
-	// every completion feeds the tracker. Nil leaves calibration off, so the
-	// pre-calibration scenario floors are untouched.
+	// every completion feeds the tracker (per node in cluster runs). Nil
+	// leaves calibration off, so the pre-calibration scenario floors are
+	// untouched.
 	Calib *calib.Config
 	// Retry, when non-nil, gives the virtual client retry behavior.
 	Retry *RetryConfig
@@ -117,6 +126,10 @@ type Report struct {
 	DegradeShed        int64   `json:"degrade_shed"`
 	FinalDivergence    float64 `json:"final_divergence"`
 
+	// Migrations counts admissions routed away from a degraded replica —
+	// zero outside cluster runs.
+	Migrations int64 `json:"migrations,omitempty"`
+
 	P50MS float64 `json:"p50_ms"`
 	P99MS float64 `json:"p99_ms"`
 	// Goodput is the deadline-met rate among admitted queries — the QoS
@@ -128,8 +141,11 @@ type Report struct {
 	// Services breaks the outcome down per co-located service, in service
 	// order: each carries its own admission, drift, and calibration state so
 	// scenarios can assert that one service's fault did not bleed into its
-	// neighbours.
+	// neighbours. Cluster runs aggregate across nodes (sums for counters,
+	// worst-case for margins and divergence).
 	Services []ServiceReport `json:"services"`
+	// Nodes breaks a cluster run down per node; nil for single-node runs.
+	Nodes []NodeReport `json:"nodes,omitempty"`
 }
 
 // ServiceReport is one service's slice of a chaos report.
@@ -154,6 +170,29 @@ type ServiceReport struct {
 	CalibSamples     int64   `json:"calib_samples"`
 }
 
+// NodeReport is one node's slice of a cluster chaos report.
+type NodeReport struct {
+	Node int `json:"node"`
+
+	// Routed counts admissions the router placed here; MigratedIn the
+	// subset placed here because a degraded sibling was skipped.
+	Routed     int64 `json:"routed"`
+	MigratedIn int64 `json:"migrated_in"`
+
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Good      int64 `json:"good"`
+	Violated  int64 `json:"violated"`
+	Dropped   int64 `json:"dropped"`
+
+	DegradeTransitions int64   `json:"degrade_transitions"`
+	DegradeShed        int64   `json:"degrade_shed"`
+	FinalDivergence    float64 `json:"final_divergence"`
+
+	// Services is the per-node, per-service breakdown, in service order.
+	Services []ServiceReport `json:"services"`
+}
+
 // request is one virtual client's state across attempts.
 type request struct {
 	idx      int
@@ -169,21 +208,85 @@ type pend struct {
 	workMS float64
 }
 
-// harness wires one scenario run; everything runs on the engine goroutine.
-type harness struct {
-	sc      Scenario
-	retry   RetryConfig
+// hNode is one node's serving stack inside the harness: its own device on
+// the shared engine, runtime, admitter, perturbation layer, and optional
+// calibration tracker.
+type hNode struct {
+	id      int
 	rt      *core.Runtime
 	adm     *admit.Admitter
 	perturb *predictor.Perturbed
 	memo    *predictor.Memoized // nil when the oracle cache is off
 	tracker *calib.Tracker      // nil when calibration is off
+	rep     *NodeReport         // nil for single-node runs
+}
+
+// harness wires one scenario run; everything runs on the engine goroutine.
+type harness struct {
+	sc      Scenario
+	retry   RetryConfig
+	eng     *sim.Engine
+	nodes   []*hNode
+	probes  []int64 // per-service route counter driving quarantine probes
 	pending map[*sched.Query]*pend
 	rep     *Report
 	lats    []float64
 }
 
+// probeEvery is the quarantine-probe cadence: every Nth routing decision per
+// service ignores the health filter, so a quarantined replica keeps receiving
+// a trickle of traffic. Its drift EWMA then tracks reality — a replica that
+// healed (or tripped on a startup transient) decays below the exit ratio and
+// rejoins, instead of staying frozen out forever because no completions ever
+// update it.
+const probeEvery = 16
+
 func gpuProfile() gpusim.Profile { return gpusim.A100Profile() }
+
+// newHNode builds one node. All nodes share eng (nil eng lets core build its
+// own for the single-node path — behaviorally identical, since a lone device
+// on a fresh engine is exactly the pre-cluster harness).
+func (h *harness) newHNode(id int, eng *sim.Engine) (*hNode, error) {
+	sc := h.sc
+	n := &hNode{id: id}
+	oracle := predictor.LatencyModel(predictor.Oracle{Profile: gpuProfile()})
+	if sc.PredictCache > 0 {
+		n.memo = predictor.NewMemoized(oracle, sc.PredictCache)
+		oracle = n.memo
+	}
+	// Distinct noise streams per node; node 0 keeps the scenario seed so
+	// single-node reports are unchanged by the cluster refactor.
+	n.perturb = predictor.NewPerturbed(oracle, 1, 0, sc.Seed+int64(id))
+	var model predictor.LatencyModel = n.perturb
+	if sc.Calib != nil {
+		cc := *sc.Calib
+		// Correction updates move the admitter's memoized solo predictions;
+		// drop them so the next verdict sees the corrected model. n.adm is
+		// assigned below, before any feedback can arrive.
+		cc.OnUpdate = func(int) { n.adm.InvalidateCache() }
+		n.tracker = calib.NewTracker(cc, sc.Models)
+		model = calib.NewCalibrated(n.perturb, n.tracker)
+	}
+	var dev *gpusim.Device
+	if eng != nil {
+		dev = gpusim.New(eng, gpuProfile())
+	}
+	rt, err := core.New(core.Config{
+		Models:    sc.Models,
+		QoSFactor: sc.QoSFactor,
+		Model:     model,
+		Profile:   gpuProfile(),
+		Device:    dev,
+		OnResult:  func(q *sched.Query) { h.onResult(n, q) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.rt = rt
+	n.adm = admit.New(model, gpuProfile(), rt.Services(), sc.QueueCap, 0.02,
+		admit.NewDegrade(sc.Degrade, len(rt.Services())))
+	return n, nil
+}
 
 // Run executes one scenario to completion in virtual time.
 func Run(sc Scenario) (*Report, error) {
@@ -192,6 +295,12 @@ func Run(sc Scenario) (*Report, error) {
 	}
 	if len(sc.Models) == 0 {
 		sc.Models = []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	}
+	if sc.Nodes == 0 {
+		sc.Nodes = 1
+	}
+	if sc.Nodes < 1 {
+		return nil, fmt.Errorf("chaos: %d nodes", sc.Nodes)
 	}
 	if sc.QPS <= 0 {
 		sc.QPS = 30
@@ -208,6 +317,11 @@ func Run(sc Scenario) (*Report, error) {
 	if err := sc.Script.Validate(); err != nil {
 		return nil, err
 	}
+	for _, w := range sc.Script.Windows {
+		if w.Node >= sc.Nodes {
+			return nil, fmt.Errorf("chaos: %s window targets node %d of %d", w.Kind, w.Node, sc.Nodes)
+		}
+	}
 
 	h := &harness{
 		sc:      sc,
@@ -219,43 +333,39 @@ func Run(sc Scenario) (*Report, error) {
 		h.retry = sc.Retry.withDefaults()
 	}
 
-	profile := gpuProfile()
-	oracle := predictor.LatencyModel(predictor.Oracle{Profile: profile})
-	if sc.PredictCache > 0 {
-		h.memo = predictor.NewMemoized(oracle, sc.PredictCache)
-		oracle = h.memo
+	var shared *sim.Engine
+	if sc.Nodes > 1 {
+		// One clock, N devices: every node's runtime shares the engine so
+		// per-node fault windows and cross-node routing are one ordered
+		// event stream.
+		shared = sim.NewEngine()
+		h.rep.Nodes = make([]NodeReport, sc.Nodes)
 	}
-	h.perturb = predictor.NewPerturbed(oracle, 1, 0, sc.Seed)
-	var model predictor.LatencyModel = h.perturb
+	for id := 0; id < sc.Nodes; id++ {
+		n, err := h.newHNode(id, shared)
+		if err != nil {
+			return nil, err
+		}
+		if shared != nil {
+			h.rep.Nodes[id].Node = id
+			h.rep.Nodes[id].Services = make([]ServiceReport, len(n.rt.Services()))
+			for i, svc := range n.rt.Services() {
+				h.rep.Nodes[id].Services[i] = ServiceReport{Service: i, Model: svc.Model.String(), CalibSlope: 1}
+			}
+			n.rep = &h.rep.Nodes[id]
+		}
+		h.nodes = append(h.nodes, n)
+	}
+	h.probes = make([]int64, len(sc.Models))
+	h.eng = h.nodes[0].rt.Engine()
 	if sc.Calib != nil {
-		cc := *sc.Calib
-		// Correction updates move the admitter's memoized solo predictions;
-		// drop them so the next verdict sees the corrected model. h.adm is
-		// assigned below, before any feedback can arrive.
-		cc.OnUpdate = func(int) { h.adm.InvalidateCache() }
-		h.tracker = calib.NewTracker(cc, sc.Models)
-		model = calib.NewCalibrated(h.perturb, h.tracker)
-		h.rep.Calibrated = h.tracker.Enabled()
+		h.rep.Calibrated = h.nodes[0].tracker.Enabled()
 	}
-	rt, err := core.New(core.Config{
-		Models:    sc.Models,
-		QoSFactor: sc.QoSFactor,
-		Model:     model,
-		Profile:   profile,
-		OnResult:  h.onResult,
-	})
-	if err != nil {
-		return nil, err
-	}
-	h.rt = rt
-	h.adm = admit.New(model, profile, rt.Services(), sc.QueueCap, 0.02,
-		admit.NewDegrade(sc.Degrade, len(rt.Services())))
-	h.rep.Services = make([]ServiceReport, len(rt.Services()))
-	for i, svc := range rt.Services() {
+	h.rep.Services = make([]ServiceReport, len(sc.Models))
+	for i, svc := range h.nodes[0].rt.Services() {
 		h.rep.Services[i] = ServiceReport{Service: i, Model: svc.Model.String(), CalibSlope: 1}
 	}
 
-	eng := rt.Engine()
 	// Fault windows first, so a window opening at t applies before any
 	// arrival or retry scheduled at the same instant.
 	for _, w := range sc.Script.Windows {
@@ -264,31 +374,72 @@ func Run(sc Scenario) (*Report, error) {
 	arrivals := trace.NewGenerator(sc.Models, sc.Seed).Poisson(sc.QPS, sc.DurationMS)
 	for i, a := range arrivals {
 		r := &request{idx: i, svc: a.Service, in: a.Input}
-		r.deadline = sim.Time(a.Time) + sim.Time(rt.Services()[a.Service].QoS)
+		r.deadline = sim.Time(a.Time) + sim.Time(h.nodes[0].rt.Services()[a.Service].QoS)
 		at := sim.Time(a.Time)
-		eng.ScheduleAt(at, func() { h.attempt(r, at) })
+		h.eng.ScheduleAt(at, func() { h.attempt(r, at) })
 	}
 	h.rep.Sent = int64(len(arrivals))
-	eng.Run()
+	h.eng.Run()
 
-	st := h.adm.Degrade().Snapshot()
-	h.rep.DegradeTransitions = st.Transitions
-	h.rep.DegradeShed = st.Shed
-	h.rep.FinalDivergence = st.Divergence
-	for i, ds := range h.adm.Degrade().ServiceSnapshots() {
-		sr := &h.rep.Services[i]
-		sr.RejectedDegraded = ds.Shed
-		sr.DegradeActive = ds.Active
-		sr.DegradeTransitions = ds.Transitions
-		sr.Divergence = ds.Divergence
-		sr.Margin = ds.Margin
+	h.finalize()
+	if len(h.pending) != 0 {
+		return nil, fmt.Errorf("chaos: %d queries still pending after drain", len(h.pending))
 	}
-	if h.tracker != nil {
-		for i, cs := range h.tracker.Snapshot().Services {
+	return h.rep, nil
+}
+
+// finalize folds drift, calibration, and latency state into the report.
+// Cluster runs aggregate per-service state across nodes: counters sum,
+// margins and divergences take the worst case.
+func (h *harness) finalize() {
+	for _, n := range h.nodes {
+		st := n.adm.Degrade().Snapshot()
+		h.rep.DegradeTransitions += st.Transitions
+		h.rep.DegradeShed += st.Shed
+		if st.Divergence > h.rep.FinalDivergence {
+			h.rep.FinalDivergence = st.Divergence
+		}
+		if n.rep != nil {
+			n.rep.DegradeTransitions = st.Transitions
+			n.rep.DegradeShed = st.Shed
+			n.rep.FinalDivergence = st.Divergence
+		}
+		for i, ds := range n.adm.Degrade().ServiceSnapshots() {
 			sr := &h.rep.Services[i]
-			sr.CalibSlope = cs.Slope
-			sr.CalibInterceptMS = cs.Intercept
-			sr.CalibSamples = cs.Samples
+			sr.RejectedDegraded += ds.Shed
+			sr.DegradeActive = sr.DegradeActive || ds.Active
+			sr.DegradeTransitions += ds.Transitions
+			if ds.Divergence > sr.Divergence {
+				sr.Divergence = ds.Divergence
+			}
+			if ds.Margin > sr.Margin {
+				sr.Margin = ds.Margin
+			}
+			if n.rep != nil {
+				nsr := &n.rep.Services[i]
+				nsr.RejectedDegraded = ds.Shed
+				nsr.DegradeActive = ds.Active
+				nsr.DegradeTransitions = ds.Transitions
+				nsr.Divergence = ds.Divergence
+				nsr.Margin = ds.Margin
+			}
+		}
+		if n.tracker != nil {
+			for i, cs := range n.tracker.Snapshot().Services {
+				sr := &h.rep.Services[i]
+				// The cluster-wide view keeps the best-fed replica's fit.
+				if n.rep == nil || cs.Samples > sr.CalibSamples {
+					sr.CalibSlope = cs.Slope
+					sr.CalibInterceptMS = cs.Intercept
+					sr.CalibSamples = cs.Samples
+				}
+				if n.rep != nil {
+					nsr := &n.rep.Services[i]
+					nsr.CalibSlope = cs.Slope
+					nsr.CalibInterceptMS = cs.Intercept
+					nsr.CalibSamples = cs.Samples
+				}
+			}
 		}
 	}
 	if len(h.lats) > 0 {
@@ -298,16 +449,14 @@ func Run(sc Scenario) (*Report, error) {
 	if h.rep.Admitted > 0 {
 		h.rep.Goodput = float64(h.rep.Good) / float64(h.rep.Admitted)
 	}
-	if len(h.pending) != 0 {
-		return nil, fmt.Errorf("chaos: %d queries still pending after drain", len(h.pending))
-	}
-	return h.rep, nil
 }
 
-// scheduleWindow arms one fault window's open and close events.
+// scheduleWindow arms one fault window's open and close events on its
+// target node (node 0 unless the window names one).
 func (h *harness) scheduleWindow(w Window) {
-	eng := h.rt.Engine()
-	dev := h.rt.Device()
+	n := h.nodes[w.Node]
+	eng := h.eng
+	dev := n.rt.Device()
 	switch w.Kind {
 	case KindGPUThrottle:
 		mem := w.Mem
@@ -327,35 +476,67 @@ func (h *harness) scheduleWindow(w Window) {
 				panic(err)
 			}
 			eng.ScheduleAt(sim.Time(w.Start), func() {
-				h.perturb.SetModelBias(id, w.Magnitude)
-				h.adm.InvalidateCache()
+				n.perturb.SetModelBias(id, w.Magnitude)
+				n.adm.InvalidateCache()
 			})
 			eng.ScheduleAt(sim.Time(w.End), func() {
-				h.perturb.SetModelBias(id, 1)
-				h.adm.InvalidateCache()
+				n.perturb.SetModelBias(id, 1)
+				n.adm.InvalidateCache()
 			})
 			break
 		}
 		eng.ScheduleAt(sim.Time(w.Start), func() {
-			h.perturb.SetBias(w.Magnitude)
-			h.adm.InvalidateCache()
+			n.perturb.SetBias(w.Magnitude)
+			n.adm.InvalidateCache()
 		})
 		eng.ScheduleAt(sim.Time(w.End), func() {
-			h.perturb.SetBias(1)
-			h.adm.InvalidateCache()
+			n.perturb.SetBias(1)
+			n.adm.InvalidateCache()
 		})
 	case KindPredictorNoise:
 		eng.ScheduleAt(sim.Time(w.Start), func() {
-			h.perturb.SetNoise(w.Magnitude)
-			h.adm.InvalidateCache()
+			n.perturb.SetNoise(w.Magnitude)
+			n.adm.InvalidateCache()
 		})
 		eng.ScheduleAt(sim.Time(w.End), func() {
-			h.perturb.SetNoise(0)
-			h.adm.InvalidateCache()
+			n.perturb.SetNoise(0)
+			n.adm.InvalidateCache()
 		})
 	}
 	// Request-fault kinds (drop/duplicate/malformed) act per attempt in
 	// attempt(), not via scheduled state changes.
+}
+
+// route picks the serving node for one query: the least-loaded node whose
+// drift detector for the service is quiet, except on probe turns, which
+// consider every replica. migrated reports that a degraded replica was
+// skipped. Single-node runs route trivially.
+func (h *harness) route(svc int) (n *hNode, migrated bool) {
+	if len(h.nodes) == 1 {
+		return h.nodes[0], false
+	}
+	cand := h.nodes
+	h.probes[svc]++
+	if h.probes[svc]%probeEvery != 0 {
+		healthy := make([]*hNode, 0, len(h.nodes))
+		for _, c := range h.nodes {
+			if !c.adm.Degrade().Active(svc) {
+				healthy = append(healthy, c)
+			}
+		}
+		// All-degraded falls back to every node: shedding is the admitters'
+		// job, routing still balances what is left.
+		if len(healthy) > 0 {
+			migrated = len(healthy) < len(h.nodes)
+			cand = healthy
+		}
+	}
+	idx := make([]int, len(cand))
+	for i := range cand {
+		idx[i] = i
+	}
+	pick := cluster.LeastLoaded(idx, func(i int) float64 { return cand[i].adm.BacklogMS() })
+	return cand[pick], migrated
 }
 
 // attempt plays one client send at virtual time now.
@@ -386,7 +567,8 @@ func (h *harness) attempt(r *request, now sim.Time) {
 		h.rep.GaveUp++
 		return
 	}
-	d := h.adm.Decide(now, r.svc, r.in, sloMS)
+	n, migrated := h.route(r.svc)
+	d := n.adm.Decide(now, r.svc, r.in, sloMS)
 	if !d.OK {
 		switch d.Reason {
 		case admit.ReasonQueueFull:
@@ -402,8 +584,17 @@ func (h *harness) attempt(r *request, now sim.Time) {
 
 	h.rep.Admitted++
 	h.rep.Services[r.svc].Admitted++
-	h.adm.Admitted(r.svc, d.WorkMS)
-	q := h.rt.SubmitSLO(r.svc, r.in, now, sloMS)
+	if n.rep != nil {
+		n.rep.Admitted++
+		n.rep.Routed++
+		n.rep.Services[r.svc].Admitted++
+		if migrated {
+			n.rep.MigratedIn++
+			h.rep.Migrations++
+		}
+	}
+	n.adm.Admitted(r.svc, d.WorkMS)
+	q := n.rt.SubmitSLO(r.svc, r.in, now, sloMS)
 	h.pending[q] = &pend{predMS: d.PredMS, workMS: d.WorkMS}
 
 	// A duplicated request hits the gateway's idempotency layer and is
@@ -441,11 +632,11 @@ func (h *harness) retryOrGiveUp(r *request, now sim.Time, hintMS float64) {
 		return
 	}
 	h.rep.Retries++
-	h.rt.Engine().ScheduleAt(wake, func() { h.attempt(r, wake) })
+	h.eng.ScheduleAt(wake, func() { h.attempt(r, wake) })
 }
 
-// onResult is the runtime sink (engine goroutine).
-func (h *harness) onResult(q *sched.Query) {
+// onResult is a node runtime's sink (engine goroutine).
+func (h *harness) onResult(n *hNode, q *sched.Query) {
 	p, ok := h.pending[q]
 	if !ok {
 		return
@@ -453,25 +644,41 @@ func (h *harness) onResult(q *sched.Query) {
 	delete(h.pending, q)
 	svc := q.Service.ID
 	sr := &h.rep.Services[svc]
-	h.adm.Finish(svc, p.workMS)
-	h.adm.Degrade().Observe(svc, p.predMS, q.Latency())
-	if h.tracker != nil {
-		h.tracker.ObserveAdmission(svc, p.workMS, p.predMS-p.workMS, q.Latency())
+	n.adm.Finish(svc, p.workMS)
+	n.adm.Degrade().Observe(svc, p.predMS, q.Latency())
+	if n.tracker != nil {
+		n.tracker.ObserveAdmission(svc, p.workMS, p.predMS-p.workMS, q.Latency())
 	}
 	if q.Dropped {
 		h.rep.Dropped++
 		sr.Dropped++
+		if n.rep != nil {
+			n.rep.Dropped++
+			n.rep.Services[svc].Dropped++
+		}
 		return
 	}
 	h.rep.Completed++
 	sr.Completed++
+	if n.rep != nil {
+		n.rep.Completed++
+		n.rep.Services[svc].Completed++
+	}
 	h.lats = append(h.lats, q.Latency())
 	if q.Violated() {
 		h.rep.Violated++
 		sr.Violated++
+		if n.rep != nil {
+			n.rep.Violated++
+			n.rep.Services[svc].Violated++
+		}
 	} else {
 		h.rep.Good++
 		sr.Good++
+		if n.rep != nil {
+			n.rep.Good++
+			n.rep.Services[svc].Good++
+		}
 	}
 }
 

@@ -33,6 +33,12 @@ func Scenarios() []Scenario {
 	biasOne := Script{Windows: []Window{
 		{Kind: KindPredictorBias, Start: 1000, End: 9000, Magnitude: 0.2, Model: "Res152"},
 	}}
+	// Cluster detection trades speed for selectivity: migration (not
+	// shedding) is the recovery mechanism, so the enter threshold sits above
+	// the co-location startup transient (~1.5×) but well below a halved
+	// GPU's sustained ~2× divergence, and quarantine probes let a replica
+	// that tripped on noise rejoin within a few probe rounds.
+	clusterDegrade := admit.DegradeConfig{Alpha: 0.5, MinSamples: 4, EnterRatio: 1.6, ExitRatio: 1.2, MarginHeadroom: 1.3}
 	out := []Scenario{
 		{
 			Name: "baseline", Seed: 11,
@@ -91,6 +97,27 @@ func Scenarios() []Scenario {
 			Calib:   &calib.Config{Seed: 23},
 		},
 		{
+			// Four healthy replicated nodes under the same per-node load as
+			// "baseline": the fault-free control the node-throttle scenario's
+			// healthy replicas are compared against.
+			Name: "cluster-baseline", Seed: 31, QPS: 120,
+			Nodes:   4,
+			Degrade: clusterDegrade,
+		},
+		{
+			// The cluster acceptance scenario: one of four nodes drops to
+			// half speed mid-run. Its drift detectors trip, the affinity
+			// router migrates traffic to the three healthy replicas, and the
+			// cluster holds its goodput floor while the siblings stay within
+			// noise of cluster-baseline (see TestClusterMigration).
+			Name: "cluster-node-throttle", Seed: 31, QPS: 120,
+			Nodes: 4,
+			Script: Script{Windows: []Window{
+				{Kind: KindGPUThrottle, Start: 2000, End: 6000, Magnitude: 0.5, Node: 2},
+			}},
+			Degrade: clusterDegrade,
+		},
+		{
 			Name: "flaky-clients", Seed: 19,
 			Script: Script{Windows: []Window{
 				{Kind: KindDrop, Start: 1000, End: 6000, Magnitude: 0.2},
@@ -139,6 +166,13 @@ func (r *Report) Text() string {
 		r.DegradeTransitions, r.DegradeShed, f(r.FinalDivergence))
 	fmt.Fprintf(&b, "  latency: p50 %s ms  p99 %s ms  goodput %s\n",
 		f(r.P50MS), f(r.P99MS), f(r.Goodput))
+	if len(r.Nodes) > 0 {
+		fmt.Fprintf(&b, "  migrations %d\n", r.Migrations)
+		for _, n := range r.Nodes {
+			fmt.Fprintf(&b, "  node %d: routed %d  migrated_in %d  good %d  violated %d  shed %d  transitions %d  divergence %s\n",
+				n.Node, n.Routed, n.MigratedIn, n.Good, n.Violated, n.DegradeShed, n.DegradeTransitions, f(n.FinalDivergence))
+		}
+	}
 	for _, s := range r.Services {
 		fmt.Fprintf(&b, "  svc %d %s: admitted %d  good %d  violated %d  shed %d  margin %s  divergence %s",
 			s.Service, s.Model, s.Admitted, s.Good, s.Violated, s.RejectedDegraded, f(s.Margin), f(s.Divergence))

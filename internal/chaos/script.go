@@ -69,6 +69,14 @@ type Window struct {
 	// "Res152") — the shape of a predictor mistrained for a single service.
 	// Empty biases every prediction. JSON scripts only.
 	Model string `json:"model,omitempty"`
+	// Node scopes a device fault (gpu_throttle, launch_stall) or predictor
+	// fault (predictor_bias, predictor_noise) to one node of a cluster
+	// scenario, mirroring Model scoping: a throttled GPU is a per-node
+	// event, and the healthy replicas must not see it. Default 0 targets
+	// the first node, which is also the only node of single-node runs.
+	// Request faults (drop, duplicate, malformed) happen before routing, so
+	// they cannot be node-scoped. JSON scripts only.
+	Node int `json:"node,omitempty"`
 }
 
 func (w Window) validate() error {
@@ -84,6 +92,15 @@ func (w Window) validate() error {
 		}
 		if _, err := dnn.ModelIDByName(w.Model); err != nil {
 			return fmt.Errorf("chaos: %s window: %w", w.Kind, err)
+		}
+	}
+	if w.Node < 0 {
+		return fmt.Errorf("chaos: %s window targets negative node %d", w.Kind, w.Node)
+	}
+	if w.Node != 0 {
+		switch w.Kind {
+		case KindDrop, KindDuplicate, KindMalformed:
+			return fmt.Errorf("chaos: %s faults act before routing and cannot be node-scoped", w.Kind)
 		}
 	}
 	m := w.Magnitude
@@ -125,7 +142,9 @@ type Script struct {
 // express the same scenarios unambiguously). A model-scoped predictor_bias
 // window may overlap a global one only if they target different state,
 // which they never do — the global window rewrites the same bias the scoped
-// one composes with — so kind+model is the overlap key.
+// one composes with — so kind+model is the overlap key. Node scoping widens
+// the key the same way: windows on different nodes touch different devices
+// and may overlap freely.
 func (s Script) Validate() error {
 	for _, w := range s.Windows {
 		if err := w.validate(); err != nil {
@@ -137,6 +156,9 @@ func (s Script) Validate() error {
 		key := w.Kind
 		if w.Model != "" {
 			key += ":" + w.Model
+		}
+		if w.Node != 0 {
+			key += fmt.Sprintf("@%d", w.Node)
 		}
 		byKind[key] = append(byKind[key], w)
 	}

@@ -54,6 +54,12 @@ type TrendOptions struct {
 	// of the relative shed/admitted tolerances, so tiny baselines do not
 	// flag on ±1 query (default 2).
 	CountSlack float64
+	// MaxNodeGoodputDrop is the largest tolerated absolute per-node goodput
+	// decrease in cluster scenarios (default 0.01 — looser than the
+	// aggregate gate, since one node's traffic share is smaller). A single
+	// replica quietly violating SLOs can hide behind a healthy cluster
+	// aggregate when migration routes around it.
+	MaxNodeGoodputDrop float64
 }
 
 func (o TrendOptions) withDefaults() TrendOptions {
@@ -71,6 +77,9 @@ func (o TrendOptions) withDefaults() TrendOptions {
 	}
 	if o.CountSlack <= 0 {
 		o.CountSlack = 2
+	}
+	if o.MaxNodeGoodputDrop <= 0 {
+		o.MaxNodeGoodputDrop = 0.01
 	}
 	return o
 }
@@ -119,6 +128,7 @@ func CompareTrend(base, head Artifact, opts TrendOptions) []TrendIssue {
 			})
 		}
 		issues = append(issues, compareServices(b, h, opts)...)
+		issues = append(issues, compareNodes(b, h, opts)...)
 	}
 	return issues
 }
@@ -158,6 +168,43 @@ func compareServices(b, h *Report, opts TrendOptions) []TrendIssue {
 		}
 	}
 	return issues
+}
+
+// compareNodes diffs one cluster scenario's per-node goodput — the sharded
+// counterpart of the per-service isolation check: migration can hold the
+// cluster aggregate while one replica's own admitted queries quietly start
+// missing their deadlines.
+func compareNodes(b, h *Report, opts TrendOptions) []TrendIssue {
+	var issues []TrendIssue
+	byNode := make(map[int]*NodeReport, len(h.Nodes))
+	for i := range h.Nodes {
+		byNode[h.Nodes[i].Node] = &h.Nodes[i]
+	}
+	for i := range b.Nodes {
+		bn := &b.Nodes[i]
+		name := fmt.Sprintf("%s[node %d]", b.Name, bn.Node)
+		hn, ok := byNode[bn.Node]
+		if !ok {
+			issues = append(issues, TrendIssue{Scenario: name, Metric: "missing"})
+			continue
+		}
+		bg, hg := nodeGoodput(bn), nodeGoodput(hn)
+		if bg-hg > opts.MaxNodeGoodputDrop {
+			issues = append(issues, TrendIssue{
+				Scenario: name, Metric: "goodput", Base: bg, Head: hg,
+			})
+		}
+	}
+	return issues
+}
+
+// nodeGoodput is a node's deadline-met rate among its own admissions; an
+// idle node counts as perfect.
+func nodeGoodput(n *NodeReport) float64 {
+	if n.Admitted == 0 {
+		return 1
+	}
+	return float64(n.Good) / float64(n.Admitted)
 }
 
 // PredictBench is one Go benchmark result inside BENCH_predict.json — the

@@ -123,6 +123,58 @@ func TestCompareTrendFlagsPerServiceAdmittedDrop(t *testing.T) {
 	}
 }
 
+// nodeRep attaches per-node counters to a report.
+func nodeRep(name string, goodput, p99 float64, nodes ...NodeReport) *Report {
+	r := rep(name, goodput, p99)
+	r.Nodes = nodes
+	return r
+}
+
+func TestCompareTrendFlagsPerNodeGoodputDrop(t *testing.T) {
+	base := art(nodeRep("cluster-node-throttle", 0.995, 30,
+		NodeReport{Node: 0, Admitted: 400, Good: 399},
+		NodeReport{Node: 1, Admitted: 300, Good: 300}))
+	// One replica's own admissions start missing deadlines while migration
+	// keeps the cluster aggregate flat: the regression the per-node rule
+	// exists to catch.
+	head := art(nodeRep("cluster-node-throttle", 0.995, 30,
+		NodeReport{Node: 0, Admitted: 400, Good: 399},
+		NodeReport{Node: 1, Admitted: 300, Good: 285}))
+	issues := CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "goodput" ||
+		issues[0].Scenario != "cluster-node-throttle[node 1]" {
+		t.Fatalf("want one per-node goodput issue, got %v", issues)
+	}
+	// Within tolerance: no issue.
+	head = art(nodeRep("cluster-node-throttle", 0.995, 30,
+		NodeReport{Node: 0, Admitted: 400, Good: 399},
+		NodeReport{Node: 1, Admitted: 300, Good: 298}))
+	if issues := CompareTrend(base, head, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("tolerated per-node drop flagged: %v", issues)
+	}
+	// A node missing from head is flagged; an idle node counts as perfect.
+	head = art(nodeRep("cluster-node-throttle", 0.995, 30,
+		NodeReport{Node: 0, Admitted: 400, Good: 399},
+		NodeReport{Node: 1, Admitted: 0, Good: 0}))
+	if issues := CompareTrend(base, head, TrendOptions{}); len(issues) != 0 {
+		t.Fatalf("idle node flagged: %v", issues)
+	}
+	head = art(nodeRep("cluster-node-throttle", 0.995, 30,
+		NodeReport{Node: 0, Admitted: 400, Good: 399}))
+	issues = CompareTrend(base, head, TrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "missing" ||
+		issues[0].Scenario != "cluster-node-throttle[node 1]" {
+		t.Fatalf("want one missing-node issue, got %v", issues)
+	}
+	// Custom tolerance widens the gate.
+	head = art(nodeRep("cluster-node-throttle", 0.995, 30,
+		NodeReport{Node: 0, Admitted: 400, Good: 399},
+		NodeReport{Node: 1, Admitted: 300, Good: 285}))
+	if issues := CompareTrend(base, head, TrendOptions{MaxNodeGoodputDrop: 0.1}); len(issues) != 0 {
+		t.Fatalf("drop within custom per-node tolerance flagged: %v", issues)
+	}
+}
+
 func predictArt(benches ...PredictBench) PredictArtifact {
 	return PredictArtifact{Benchmarks: benches}
 }
@@ -215,7 +267,7 @@ func TestParseArtifactRoundTrip(t *testing.T) {
 // what makes the CI check byte-deterministic rather than noise-tolerant.
 func TestTrendOnLiveSuite(t *testing.T) {
 	scs := []Scenario{}
-	for _, name := range []string{"baseline", "bias-one-calibrated"} {
+	for _, name := range []string{"baseline", "bias-one-calibrated", "cluster-node-throttle"} {
 		sc, ok := Lookup(name)
 		if !ok {
 			t.Fatalf("scenario %s missing", name)

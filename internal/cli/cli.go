@@ -45,6 +45,24 @@ func ParseModels(list string) ([]dnn.ModelID, error) {
 	return models, nil
 }
 
+// ParsePlacement parses a node placement: semicolon-separated nodes, each a
+// comma-separated model list ("Res152,IncepV3;Res50,VGG16" pins two nodes).
+// An empty string yields nil (no pinned placement).
+func ParsePlacement(spec string) ([][]dnn.ModelID, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var place [][]dnn.ModelID
+	for i, group := range strings.Split(spec, ";") {
+		models, err := ParseModels(group)
+		if err != nil {
+			return nil, fmt.Errorf("placement node %d: %w", i, err)
+		}
+		place = append(place, models)
+	}
+	return place, nil
+}
+
 // ParsePolicy resolves a scheduler name (case-insensitive) to its policy.
 func ParsePolicy(name string) (serving.PolicyKind, error) {
 	switch strings.ToUpper(strings.TrimSpace(name)) {

@@ -19,7 +19,9 @@ import (
 type clockworkController struct {
 	eng     *sim.Engine
 	profile gpusim.Profile
-	sink    sched.Sink
+	// dropSink records controller-level admission drops, which never reach a
+	// GPU (tagged node -1 by the caller).
+	dropSink sched.Sink
 
 	pending []*sched.Query
 	gpus    []*clockworkGPU
@@ -27,16 +29,17 @@ type clockworkController struct {
 
 type clockworkGPU struct {
 	exec   *executor.Executor
+	sink   sched.Sink // completion sink tagged with this GPU's node index
 	active dnn.ModelID
 	loaded bool
 	busy   bool
 }
 
-func newClockworkController(eng *sim.Engine, profile gpusim.Profile, numGPUs int, sink sched.Sink) *clockworkController {
-	c := &clockworkController{eng: eng, profile: profile, sink: sink}
+func newClockworkController(eng *sim.Engine, profile gpusim.Profile, numGPUs int, sinkFor func(node int) sched.Sink) *clockworkController {
+	c := &clockworkController{eng: eng, profile: profile, dropSink: sinkFor(-1)}
 	for i := 0; i < numGPUs; i++ {
 		dev := gpusim.New(eng, profile)
-		c.gpus = append(c.gpus, &clockworkGPU{exec: executor.New(dev, 0.02)})
+		c.gpus = append(c.gpus, &clockworkGPU{exec: executor.New(dev, 0.02), sink: sinkFor(i)})
 	}
 	return c
 }
@@ -83,7 +86,7 @@ func (c *clockworkController) dispatch() {
 			// Admission control: the query cannot meet its deadline.
 			q.Dropped = true
 			q.Finish = now
-			c.sink(q)
+			c.dropSink(q)
 			continue
 		}
 		c.run(gpu, q, swap)
@@ -123,7 +126,7 @@ func (c *clockworkController) run(gpu *clockworkGPU, q *sched.Query, swap float6
 		}}, func() {
 			q.NextOp = m.NumOps()
 			q.Finish = c.eng.Now()
-			c.sink(q)
+			gpu.sink(q)
 			gpu.busy = false
 			c.dispatch()
 		})

@@ -22,6 +22,7 @@ import (
 	"abacus/internal/predictor"
 	"abacus/internal/runner"
 	"abacus/internal/sched"
+	"abacus/internal/serving"
 	"abacus/internal/sim"
 	"abacus/internal/stats"
 	"abacus/internal/trace"
@@ -86,6 +87,9 @@ type Result struct {
 	// EnergyJoules is the fleet's energy under the linear utilization model
 	// (the §7.6 energy-efficiency observation).
 	EnergyJoules float64
+	// Nodes summarizes each GPU's share of the run (node -1 carries
+	// Clockwork's controller-level admission drops).
+	Nodes []serving.NodeSummary
 }
 
 // JoulesPerQuery returns fleet energy per completed query.
@@ -140,14 +144,25 @@ func Run(cfg Config) Result {
 		services[i] = &sched.Service{ID: i, Model: id, QoS: cfg.QoS}
 	}
 
-	var records []record
-	sink := func(q *sched.Query) {
-		records = append(records, record{
-			arrival: q.Arrival,
-			finish:  q.Finish,
-			dropped: q.Dropped,
-			late:    q.Violated(),
-		})
+	var records []serving.Record
+	sinkFor := func(node int) sched.Sink {
+		return func(q *sched.Query) {
+			rec := serving.Record{
+				Service:  q.Service.ID,
+				Model:    q.Service.Model,
+				Input:    q.Input,
+				Arrival:  q.Arrival,
+				Finish:   q.Finish,
+				Dropped:  q.Dropped,
+				Violated: q.Violated(),
+				QoS:      q.Service.QoS,
+				Node:     node,
+			}
+			if !q.Dropped {
+				rec.Latency = q.Latency()
+			}
+			records = append(records, rec)
+		}
 	}
 
 	var devices []*gpusim.Device
@@ -155,7 +170,9 @@ func Run(cfg Config) Result {
 	switch cfg.Policy {
 	case KubeAbacus:
 		schedulers := make([]sched.Scheduler, numGPUs)
+		all := make([]int, numGPUs)
 		for i := range schedulers {
+			all[i] = i
 			dev := gpusim.New(eng, profile)
 			devices = append(devices, dev)
 			exec := executor.New(dev, 0.02)
@@ -167,20 +184,18 @@ func Run(cfg Config) Result {
 			if schedCfg == (sched.Config{}) {
 				schedCfg = sched.DefaultConfig()
 			}
-			schedulers[i] = sched.NewAbacus(eng, exec, model, schedCfg, sink)
+			schedulers[i] = sched.NewAbacus(eng, exec, model, schedCfg, sinkFor(i))
 		}
-		// Kubernetes-style routing: least outstanding work, ties by index.
+		// Kubernetes-style routing: least outstanding work, ties by index —
+		// the same LeastLoaded policy the online gateway's router reuses.
 		route = func(q *sched.Query) {
-			best := 0
-			for i := 1; i < numGPUs; i++ {
-				if schedulers[i].QueueLen() < schedulers[best].QueueLen() {
-					best = i
-				}
-			}
+			best := LeastLoaded(all, func(i int) float64 {
+				return float64(schedulers[i].QueueLen())
+			})
 			schedulers[best].Enqueue(q)
 		}
 	case Clockwork:
-		ctrl := newClockworkController(eng, profile, numGPUs, sink)
+		ctrl := newClockworkController(eng, profile, numGPUs, sinkFor)
 		for _, g := range ctrl.gpus {
 			devices = append(devices, g.exec.Device())
 		}
@@ -222,17 +237,11 @@ func Run(cfg Config) Result {
 	return res
 }
 
-type record struct {
-	arrival sim.Time
-	finish  sim.Time
-	dropped bool
-	late    bool
-}
-
-func summarize(policy Policy, records []record, offered map[int]int, bucket float64) Result {
+func summarize(policy Policy, records []serving.Record, offered map[int]int, bucket float64) Result {
 	res := Result{Policy: policy, Total: len(records)}
 	perBucket := map[int][]float64{}
 	var all []float64
+	var lastEmit float64
 	maxBucket := 0
 	for b := range offered {
 		if b > maxBucket {
@@ -240,22 +249,26 @@ func summarize(policy Policy, records []record, offered map[int]int, bucket floa
 		}
 	}
 	for _, r := range records {
-		if r.late {
+		if r.Finish > lastEmit {
+			lastEmit = r.Finish
+		}
+		if r.Violated {
 			res.Violations++
 		}
-		if r.dropped {
+		if r.Dropped {
 			res.Dropped++
 			continue
 		}
 		res.Completed++
-		lat := r.finish - r.arrival
+		lat := r.Latency
 		all = append(all, lat)
-		b := int(r.arrival / bucket)
+		b := int(r.Arrival / bucket)
 		perBucket[b] = append(perBucket[b], lat)
 		if b > maxBucket {
 			maxBucket = b
 		}
 	}
+	res.Nodes = serving.SummarizeNodes(records, lastEmit)
 	if len(all) > 0 {
 		res.AvgLatency = stats.Mean(all)
 		res.P99Latency = stats.Percentile(all, 99)

@@ -3,6 +3,8 @@ package predictor
 import (
 	"encoding/binary"
 	"fmt"
+
+	"abacus/internal/dnn"
 )
 
 // Memoized wraps a LatencyModel with a bounded group-signature cache.
@@ -16,7 +18,8 @@ import (
 // Predictor) for the wrapper to be extensionally transparent; wrapping a
 // stateful model such as Perturbed would change its noise-stream
 // consumption. Callers that refit corrections (calib.Tracker.OnUpdate)
-// must InvalidateAll so refits never serve stale values.
+// must invalidate so refits never serve stale values — InvalidateModel for
+// a per-service refit, InvalidateAll for anything broader.
 //
 // Memoized is not safe for concurrent use; like the other latency models
 // it is owned by a single scheduler loop.
@@ -36,7 +39,8 @@ type Memoized struct {
 type memoSlot struct {
 	key  string
 	lat  float64
-	ref  bool // second-chance bit
+	mask uint64 // bitmask of model IDs in the cached group
+	ref  bool   // second-chance bit
 	used bool
 }
 
@@ -51,6 +55,10 @@ type MemoStats struct {
 	Misses        uint64 `json:"misses"`
 	Evictions     uint64 `json:"evictions"`
 	Invalidations uint64 `json:"invalidations"`
+	// ModelInvalidations counts InvalidateModel calls; only entries whose
+	// group contains the named model are dropped, so unrelated groups keep
+	// their cached predictions across a per-service calibration refit.
+	ModelInvalidations uint64 `json:"model_invalidations"`
 }
 
 // NewMemoized wraps inner with a cache of at most capacity entries.
@@ -87,6 +95,40 @@ func (m *Memoized) InvalidateAll() {
 	}
 	m.hand = 0
 	m.stats.Invalidations++
+}
+
+// InvalidateModel drops only the cached predictions whose group contains the
+// given model — the per-service cache generation used by calibration refits:
+// a refit of service S's correction cannot change the latency of a group S
+// does not appear in, so those entries stay warm. Models that do not fit the
+// slot mask fall back to a full invalidation (conservative, never stale).
+func (m *Memoized) InvalidateModel(id dnn.ModelID) {
+	if int(id) < 0 || int(id) >= 64 {
+		m.InvalidateAll()
+		return
+	}
+	bit := uint64(1) << uint(id)
+	for i := range m.slots {
+		s := &m.slots[i]
+		if s.used && s.mask&bit != 0 {
+			delete(m.index, s.key)
+			m.slots[i] = memoSlot{}
+		}
+	}
+	m.stats.ModelInvalidations++
+}
+
+// groupMask returns the model bitmask of g; groups holding a model outside
+// the mask width are tagged all-ones so every InvalidateModel drops them.
+func groupMask(g Group) uint64 {
+	var mask uint64
+	for _, e := range g {
+		if int(e.Model) < 0 || int(e.Model) >= 64 {
+			return ^uint64(0)
+		}
+		mask |= 1 << uint(e.Model)
+	}
+	return mask
 }
 
 // appendKey appends the canonical signature of g: its entries in ascending
@@ -129,7 +171,7 @@ func (m *Memoized) lookup(key []byte) (float64, bool) {
 }
 
 // insert stores key → lat, evicting by clock second-chance when full.
-func (m *Memoized) insert(key []byte, lat float64) {
+func (m *Memoized) insert(key []byte, lat float64, mask uint64) {
 	for {
 		s := &m.slots[m.hand]
 		if !s.used {
@@ -144,7 +186,7 @@ func (m *Memoized) insert(key []byte, lat float64) {
 		m.stats.Evictions++
 		break
 	}
-	m.slots[m.hand] = memoSlot{key: string(key), lat: lat, used: true}
+	m.slots[m.hand] = memoSlot{key: string(key), lat: lat, mask: mask, used: true}
 	m.index[m.slots[m.hand].key] = m.hand
 	m.hand = (m.hand + 1) % len(m.slots)
 }
@@ -158,7 +200,7 @@ func (m *Memoized) Predict(g Group) float64 {
 	}
 	m.stats.Misses++
 	lat := m.inner.Predict(g)
-	m.insert(m.keyBuf, lat)
+	m.insert(m.keyBuf, lat, groupMask(g))
 	return lat
 }
 
@@ -200,7 +242,7 @@ func (m *Memoized) PredictBatch(gs []Group) []float64 {
 		for j, idx := range m.missIdx {
 			out[idx] = lats[j]
 			m.keyBuf = appendKey(m.keyBuf[:0], m.missBuf[j])
-			m.insert(m.keyBuf, lats[j])
+			m.insert(m.keyBuf, lats[j], groupMask(m.missBuf[j]))
 		}
 		for _, d := range dups {
 			out[d[0]] = lats[d[1]]

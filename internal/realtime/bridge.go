@@ -46,6 +46,10 @@ type Bridge struct {
 	stopped  chan struct{}
 	stopOnce sync.Once
 
+	// epoch pins the loop's wall-clock origin when set (StartAnchored);
+	// zero means the loop stamps time.Now when it starts.
+	epoch time.Time
+
 	// now mirrors the engine clock for cheap cross-goroutine reads.
 	now atomic.Uint64
 }
@@ -85,6 +89,21 @@ func (b *Bridge) Now() sim.Time { return math.Float64frombits(b.now.Load()) }
 
 // Start launches the loop goroutine. It must be called exactly once.
 func (b *Bridge) Start() { go b.loop() }
+
+// StartAnchored launches the loop goroutine with its wall-clock origin pinned
+// to epoch instead of the instant the loop happens to start. Sibling bridges
+// anchored to the same epoch share one clock discipline: each derives its
+// virtual clock from the identical wall origin, so N per-node engines advance
+// in lockstep regardless of goroutine start order. Like Start, it must be
+// called exactly once; an epoch slightly in the past simply fast-forwards the
+// bridge to where its siblings already are.
+func (b *Bridge) StartAnchored(epoch time.Time) {
+	if epoch.IsZero() {
+		panic("realtime: zero anchor epoch")
+	}
+	b.epoch = epoch
+	go b.loop()
+}
 
 // Stop halts the loop and waits for it to exit. Commands already queued are
 // executed first so no Do caller is stranded; events still pending on the
@@ -134,7 +153,10 @@ func (b *Bridge) Flush() error {
 // injected.
 func (b *Bridge) loop() {
 	defer close(b.stopped)
-	wallStart := time.Now()
+	wallStart := b.epoch
+	if wallStart.IsZero() {
+		wallStart = time.Now()
+	}
 	virtStart := b.eng.Now()
 	target := func() sim.Time {
 		return virtStart + b.speedup*float64(time.Since(wallStart))/float64(time.Millisecond)

@@ -149,6 +149,58 @@ func renderMetrics(st Statz) []byte {
 		emit("abacus_predict_cache_invalidations_total %d\n", pc.Invalidations)
 	}
 
+	if len(st.Nodes) > 0 {
+		head("abacus_node_virtual_time_ms", "gauge", "Per-node virtual clock, ms.")
+		for _, n := range st.Nodes {
+			emit("abacus_node_virtual_time_ms{node=\"%d\"} %s\n", n.Node, promFloat(n.NowMS))
+		}
+
+		head("abacus_node_backlog_predicted_ms", "gauge", "Predicted unfinished work admitted per node, virtual ms.")
+		for _, n := range st.Nodes {
+			emit("abacus_node_backlog_predicted_ms{node=\"%d\"} %s\n", n.Node, promFloat(n.BacklogPredMS))
+		}
+
+		head("abacus_node_queue_depth", "gauge", "Admitted-but-unfinished queries per node.")
+		for _, n := range st.Nodes {
+			emit("abacus_node_queue_depth{node=\"%d\"} %d\n", n.Node, n.QueueDepth)
+		}
+
+		head("abacus_node_degraded", "gauge", "1 while any hosted service's drift detector is active on the node.")
+		for _, n := range st.Nodes {
+			v := 0
+			if n.Degrade.Active {
+				v = 1
+			}
+			emit("abacus_node_degraded{node=\"%d\"} %d\n", n.Node, v)
+		}
+
+		head("abacus_node_routed_total", "counter", "Queries the cluster router admitted on the node.")
+		for _, n := range st.Nodes {
+			emit("abacus_node_routed_total{node=\"%d\"} %d\n", n.Node, n.Routed)
+		}
+
+		head("abacus_node_migrated_in_total", "counter", "Queries routed to the node away from a degraded replica.")
+		for _, n := range st.Nodes {
+			emit("abacus_node_migrated_in_total{node=\"%d\"} %d\n", n.Node, n.MigratedIn)
+		}
+
+		if anyNodeCache(st.Nodes) {
+			head("abacus_node_predict_cache_hits_total", "counter", "Per-node predictions answered from the group-signature cache.")
+			for _, n := range st.Nodes {
+				if n.PredictCache != nil {
+					emit("abacus_node_predict_cache_hits_total{node=\"%d\"} %d\n", n.Node, n.PredictCache.Hits)
+				}
+			}
+
+			head("abacus_node_predict_cache_misses_total", "counter", "Per-node predictions the duration model actually computed.")
+			for _, n := range st.Nodes {
+				if n.PredictCache != nil {
+					emit("abacus_node_predict_cache_misses_total{node=\"%d\"} %d\n", n.Node, n.PredictCache.Misses)
+				}
+			}
+		}
+	}
+
 	if st.Calibration != nil {
 		cal := 0
 		if st.Calibration.Enabled {
@@ -187,6 +239,16 @@ func renderMetrics(st Statz) []byte {
 	}
 
 	return b.Bytes()
+}
+
+// anyNodeCache reports whether any node runs a predict cache.
+func anyNodeCache(nodes []NodeStatz) bool {
+	for _, n := range nodes {
+		if n.PredictCache != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // promFloat renders a float in Prometheus sample syntax.

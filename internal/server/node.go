@@ -1,0 +1,121 @@
+package server
+
+import (
+	"math"
+	"sync/atomic"
+
+	"abacus/internal/admit"
+	"abacus/internal/calib"
+	"abacus/internal/core"
+	"abacus/internal/dnn"
+	"abacus/internal/gpusim"
+	"abacus/internal/predictor"
+	"abacus/internal/realtime"
+	"abacus/internal/sched"
+)
+
+// node is one per-GPU serving engine behind the gateway: its own simulated
+// device and Abacus runtime, realtime bridge, admission controller, predict
+// cache, and calibration tracker. Every non-atomic field is owned by the
+// node's bridge loop goroutine; the router on handler goroutines reads only
+// the published mirrors (load, degraded).
+type node struct {
+	id     int
+	models []dnn.ModelID // hosted models, in node-local service order
+	global []int         // local service index → gateway service index
+
+	rt      *core.Runtime
+	bridge  *realtime.Bridge
+	adm     *admit.Admitter
+	memo    *predictor.Memoized // nil when the predict cache is off
+	tracker *calib.Tracker      // nil when calibration is off
+
+	pending    map[*sched.Query]*pending
+	byID       map[string]*pending
+	recent     *outcomeCache
+	duplicates int64
+	routed     int64 // queries the router sent here
+	migratedIn int64 // routed here while a degraded sibling also hosted the service
+
+	// Router-visible mirrors, published from the loop goroutine after every
+	// admission-state change.
+	loadMS   atomic.Uint64 // predicted backlog, float64 bits
+	degraded []atomic.Bool // per-local-service drift detector state
+}
+
+// newNode builds one node hosting the given model subset. global maps the
+// node-local service order onto gateway service indices; onResult receives
+// every finished query on the node's loop; onEvict fires when a completed
+// request ID ages out of the node's idempotency cache.
+func newNode(cfg Config, id int, models []dnn.ModelID, global []int,
+	onResult func(*node, *sched.Query), onEvict func(string)) (*node, error) {
+	n := &node{
+		id:       id,
+		models:   models,
+		global:   global,
+		pending:  make(map[*sched.Query]*pending),
+		byID:     make(map[string]*pending),
+		recent:   newOutcomeCache(cfg.DedupeWindow, onEvict),
+		degraded: make([]atomic.Bool, len(models)),
+	}
+	profile := gpusim.A100Profile()
+	model := cfg.Model
+	if model == nil {
+		model = predictor.Oracle{Profile: profile}
+	}
+	if cfg.Calib != nil {
+		cc := *cfg.Calib
+		// A refit moves exactly one service's correction, so only that
+		// service's memoized solo predictions and the group signatures its
+		// model appears in go stale — the per-service cache generation.
+		// n.adm and n.memo are assigned below, before the bridge starts
+		// delivering feedback.
+		cc.OnUpdate = func(local int) {
+			n.adm.InvalidateService(local)
+			if n.memo != nil {
+				n.memo.InvalidateModel(n.models[local])
+			}
+		}
+		n.tracker = calib.NewTracker(cc, models)
+		model = calib.NewCalibrated(model, n.tracker)
+	}
+	if cfg.PredictCache > 0 {
+		// The memo sits above calibration so cached values are corrected
+		// predictions; refits invalidate per model via OnUpdate above.
+		n.memo = predictor.NewMemoized(model, cfg.PredictCache)
+		model = n.memo
+	}
+	rt, err := core.New(core.Config{
+		Models:    models,
+		QoSFactor: cfg.QoSFactor,
+		Model:     model,
+		Profile:   profile,
+		Sched:     cfg.Sched,
+		SyncCost:  cfg.SyncCost,
+		OnResult:  func(q *sched.Query) { onResult(n, q) },
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.rt = rt
+	n.bridge = realtime.New(rt.Engine(), cfg.Speedup)
+	syncCost := cfg.SyncCost
+	if syncCost == 0 {
+		syncCost = 0.02
+	}
+	n.adm = admit.New(model, rt.Device().Profile(), rt.Services(), cfg.QueueCap, syncCost,
+		admit.NewDegrade(cfg.Degrade, len(models)))
+	return n, nil
+}
+
+// publish refreshes the router-visible mirrors. Call from the loop goroutine
+// after any change to admission state.
+func (n *node) publish() {
+	n.loadMS.Store(math.Float64bits(n.adm.BacklogMS()))
+	for i := range n.degraded {
+		n.degraded[i].Store(n.adm.Degrade().Active(i))
+	}
+}
+
+// load returns the last published predicted backlog (any goroutine).
+func (n *node) load() float64 { return math.Float64frombits(n.loadMS.Load()) }

@@ -12,6 +12,14 @@
 // predicted-vs-observed latency diverges (internal/admit), request-body
 // size caps and read timeouts against malformed and slow-loris clients,
 // and fault/retry counters on /statz and /metrics.
+//
+// Sharded serving (PR 6): the gateway fronts N per-GPU nodes, each a full
+// engine + bridge + admitter + calibration stack (see node.go). Placement
+// seeds from the §7.8 overlap-gain grouping unless pinned explicitly; the
+// router sends each query to the least-loaded healthy node hosting its
+// model, migrating away from nodes whose per-service drift detector has
+// tripped. RequestID routes are sticky so duplicate suppression keeps
+// working across retries.
 package server
 
 import (
@@ -26,20 +34,32 @@ import (
 	"time"
 
 	"abacus/internal/admit"
+	"abacus/internal/autoscale"
 	"abacus/internal/calib"
+	"abacus/internal/cluster"
 	"abacus/internal/core"
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
-	"abacus/internal/realtime"
 	"abacus/internal/sched"
 	"abacus/internal/stats"
 )
 
 // Config assembles a gateway.
 type Config struct {
-	// Models are the co-located services (1..predictor.MaxCoLocated).
+	// Models are the deployed services. With one node they must all co-locate
+	// (1..predictor.MaxCoLocated); with several, each node's share is bounded
+	// instead.
 	Models []dnn.ModelID
+	// Nodes is how many per-GPU serving nodes back the gateway (default 1,
+	// the single-engine gateway; defaults to len(Placement) when a placement
+	// is pinned).
+	Nodes int
+	// Placement pins each node's hosted models. Nil derives a placement: one
+	// node hosts everything; several nodes replicate the §7.8 overlap-gain
+	// groups round-robin so every group has migration targets. Every model
+	// must be hosted by at least one node.
+	Placement [][]dnn.ModelID
 	// QoSFactor scales per-service QoS over max-input solo latency
 	// (default 2, the paper's setting).
 	QoSFactor float64
@@ -50,7 +70,9 @@ type Config struct {
 	// (default 64); beyond it the gateway sheds load with 429.
 	QueueCap int
 	// Model is the duration model for both the Abacus controller and the
-	// admission predictor; nil selects the exact oracle.
+	// admission predictor; nil selects the exact oracle. With several nodes
+	// it is shared across their loop goroutines and must be safe for
+	// concurrent use (the built-in models are pure).
 	Model predictor.LatencyModel
 	// Sched carries controller knobs; zero value = sched.DefaultConfig.
 	Sched sched.Config
@@ -63,8 +85,9 @@ type Config struct {
 	Degrade admit.DegradeConfig
 	// Calib, when non-nil, enables online latency-model calibration: every
 	// completed query feeds a per-service feedback tracker and both the
-	// scheduler and admission predict through the corrected model. Nil
-	// leaves calibration off.
+	// scheduler and admission predict through the corrected model. Each node
+	// calibrates independently (its GPU, its feedback). Nil leaves
+	// calibration off.
 	Calib *calib.Config
 	// MaxBodyBytes caps the /v1/infer request body (default 1 MiB); larger
 	// bodies are rejected 400 and counted as malformed.
@@ -76,42 +99,52 @@ type Config struct {
 	// (default 30s). Response writing is unaffected, so paced inference
 	// waits are not.
 	ReadTimeout time.Duration
-	// DedupeWindow is how many completed request IDs the idempotency cache
-	// remembers (default 4096).
+	// DedupeWindow is how many completed request IDs each node's idempotency
+	// cache remembers (default 4096).
 	DedupeWindow int
-	// PredictCache bounds the group-signature memoization cache wrapped
-	// around the duration model (predictor.Memoized): steady-state
+	// PredictCache bounds the per-node group-signature memoization cache
+	// wrapped around the duration model (predictor.Memoized): steady-state
 	// scheduling rounds re-predict the same group signatures, and the cache
 	// answers repeats without re-running the MLP. 0 selects the default
-	// (4096 signatures); negative disables caching. Calibration refits
-	// invalidate the cache, so corrected predictions are never stale.
+	// (4096 signatures); negative disables caching. A calibration refit of
+	// one service invalidates only that service's entries.
 	PredictCache int
 }
+
+// hostRef locates one replica of a service: the hosting node and the
+// service's node-local index there.
+type hostRef struct {
+	node  int
+	local int
+}
+
+// probeEvery is the quarantine-probe cadence: every Nth routing decision per
+// service considers degraded replicas too (see route).
+const probeEvery = 16
 
 // Server is the gateway. Construct with New, then Start before serving its
 // Handler; Drain (or Shutdown) ends its life cycle.
 type Server struct {
 	cfg     Config
-	rt      *core.Runtime
-	bridge  *realtime.Bridge
+	nodes   []*node
+	hosts   [][]hostRef    // global service index → hosting nodes
+	qos     []float64      // global service index → QoS target (ms)
+	probes  []atomic.Int64 // global service index → routing decisions, drives quarantine probes
+	byName  map[string]int // model name → global service index
 	mux     *http.ServeMux
-	admit   *admit.Admitter           // loop-goroutine state
-	memo    *predictor.Memoized       // loop-goroutine state; nil when the predict cache is off
-	tracker *calib.Tracker            // loop-goroutine state; nil when calibration is off
-	pending map[*sched.Query]*pending // loop-goroutine state
-	byID    map[string]*pending       // loop-goroutine state: in-flight idempotency keys
-	recent  *outcomeCache             // loop-goroutine state: completed idempotency keys
-	byName  map[string]int            // model name → service index
 	httpSrv atomic.Pointer[http.Server]
+
+	// routes pins a RequestID to the node that first accepted it (value:
+	// node id), so retries land where the idempotency caches live. Entries
+	// die with the node's outcome-cache slot (onEvict) or on rejection.
+	routes sync.Map
 
 	draining atomic.Bool
 
-	// Fault counters. malformed and retriesSeen are bumped on handler
-	// goroutines before the loop is involved, hence atomics; duplicates is
-	// loop-owned.
+	// Fault counters bumped on handler goroutines before any loop is
+	// involved; per-node duplicate counts live on the nodes.
 	malformed   atomic.Int64
 	retriesSeen atomic.Int64
-	duplicates  int64 // loop-goroutine state
 
 	mu  sync.Mutex
 	svc []*svcStats
@@ -131,16 +164,17 @@ type pending struct {
 
 // outcomeCache remembers the most recent completed request IDs so a retry
 // that arrives after its original completed is answered from the cache
-// instead of re-executing.
+// instead of re-executing. onEvict (optional) fires when an ID ages out.
 type outcomeCache struct {
-	cap   int
-	order []string
-	next  int
-	m     map[string]*pending
+	cap     int
+	order   []string
+	next    int
+	m       map[string]*pending
+	onEvict func(id string)
 }
 
-func newOutcomeCache(capacity int) *outcomeCache {
-	return &outcomeCache{cap: capacity, m: make(map[string]*pending, capacity)}
+func newOutcomeCache(capacity int, onEvict func(id string)) *outcomeCache {
+	return &outcomeCache{cap: capacity, m: make(map[string]*pending, capacity), onEvict: onEvict}
 }
 
 func (c *outcomeCache) add(id string, p *pending) {
@@ -150,7 +184,11 @@ func (c *outcomeCache) add(id string, p *pending) {
 	if len(c.order) < c.cap {
 		c.order = append(c.order, id)
 	} else {
-		delete(c.m, c.order[c.next])
+		old := c.order[c.next]
+		delete(c.m, old)
+		if c.onEvict != nil {
+			c.onEvict(old)
+		}
 		c.order[c.next] = id
 		c.next = (c.next + 1) % c.cap
 	}
@@ -201,14 +239,48 @@ func (w *latWindow) snapshot() []float64 {
 	return out
 }
 
+// placement resolves the node → hosted-models assignment. The single-node
+// default hosts cfg.Models verbatim, keeping the sharded gateway
+// behaviorally identical to the single-engine one. Multi-node defaults seed
+// from the §7.8 overlap-gain grouping and replicate groups round-robin, so
+// every service has at least one migration target when nodes outnumber
+// groups.
+func placement(cfg Config, profile gpusim.Profile) [][]dnn.ModelID {
+	if cfg.Placement != nil {
+		return cfg.Placement
+	}
+	if cfg.Nodes == 1 {
+		return [][]dnn.ModelID{cfg.Models}
+	}
+	groupSize := (len(cfg.Models) + cfg.Nodes - 1) / cfg.Nodes
+	if groupSize > predictor.MaxCoLocated {
+		groupSize = predictor.MaxCoLocated
+	}
+	groups := autoscale.GroupServices(cfg.Models, groupSize, profile)
+	out := make([][]dnn.ModelID, cfg.Nodes)
+	for i := range out {
+		out[i] = groups[i%len(groups)]
+	}
+	return out
+}
+
 // New validates the configuration and builds the gateway (not yet running).
 func New(cfg Config) (*Server, error) {
 	if len(cfg.Models) == 0 {
 		return nil, fmt.Errorf("server: no models configured")
 	}
-	if len(cfg.Models) > predictor.MaxCoLocated {
-		return nil, fmt.Errorf("server: %d models exceed the supported co-location degree %d",
-			len(cfg.Models), predictor.MaxCoLocated)
+	if cfg.Nodes == 0 {
+		if len(cfg.Placement) > 0 {
+			cfg.Nodes = len(cfg.Placement)
+		} else {
+			cfg.Nodes = 1
+		}
+	}
+	if cfg.Nodes < 0 {
+		return nil, fmt.Errorf("server: %d nodes", cfg.Nodes)
+	}
+	if cfg.Placement != nil && len(cfg.Placement) != cfg.Nodes {
+		return nil, fmt.Errorf("server: placement covers %d nodes, want %d", len(cfg.Placement), cfg.Nodes)
 	}
 	if cfg.Speedup == 0 {
 		cfg.Speedup = 1
@@ -234,63 +306,58 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PredictCache == 0 {
 		cfg.PredictCache = 4096
 	}
-	s := &Server{
-		cfg:     cfg,
-		pending: make(map[*sched.Query]*pending),
-		byID:    make(map[string]*pending),
-		recent:  newOutcomeCache(cfg.DedupeWindow),
-		byName:  make(map[string]int),
-	}
-	profile := gpusim.A100Profile()
-	model := cfg.Model
-	if model == nil {
-		model = predictor.Oracle{Profile: profile}
-	}
-	if cfg.Calib != nil {
-		cc := *cfg.Calib
-		// Correction updates move both the admitter's memoized solo
-		// predictions and the group-signature cache; drop them so the next
-		// verdict sees the corrected model. s.admit and s.memo are assigned
-		// below, before the bridge starts delivering feedback.
-		cc.OnUpdate = func(int) {
-			s.admit.InvalidateCache()
-			if s.memo != nil {
-				s.memo.InvalidateAll()
-			}
-		}
-		s.tracker = calib.NewTracker(cc, cfg.Models)
-		model = calib.NewCalibrated(model, s.tracker)
-	}
-	if cfg.PredictCache > 0 {
-		// The memo sits above calibration so cached values are corrected
-		// predictions; calibration refits invalidate it via OnUpdate above.
-		s.memo = predictor.NewMemoized(model, cfg.PredictCache)
-		model = s.memo
-	}
-	rt, err := core.New(core.Config{
-		Models:    cfg.Models,
-		QoSFactor: cfg.QoSFactor,
-		Model:     model,
-		Profile:   profile,
-		Sched:     cfg.Sched,
-		SyncCost:  cfg.SyncCost,
-		OnResult:  s.onResult,
-	})
-	if err != nil {
-		return nil, err
-	}
-	s.rt = rt
-	s.bridge = realtime.New(rt.Engine(), cfg.Speedup)
-	syncCost := cfg.SyncCost
-	if syncCost == 0 {
-		syncCost = 0.02
-	}
-	s.admit = admit.New(model, rt.Device().Profile(), rt.Services(), cfg.QueueCap, syncCost,
-		admit.NewDegrade(cfg.Degrade, len(cfg.Models)))
+
+	s := &Server{cfg: cfg, byName: make(map[string]int)}
 	for i, m := range cfg.Models {
-		s.byName[m.String()] = i
+		name := m.String()
+		if _, dup := s.byName[name]; dup {
+			return nil, fmt.Errorf("server: model %s deployed twice", name)
+		}
+		s.byName[name] = i
 		s.svc = append(s.svc, &svcStats{})
 	}
+
+	place := placement(cfg, gpusim.A100Profile())
+	s.hosts = make([][]hostRef, len(cfg.Models))
+	s.qos = make([]float64, len(cfg.Models))
+	s.probes = make([]atomic.Int64, len(cfg.Models))
+	for id, models := range place {
+		if len(models) == 0 {
+			return nil, fmt.Errorf("server: node %d hosts no models", id)
+		}
+		if len(models) > predictor.MaxCoLocated {
+			return nil, fmt.Errorf("server: node %d: %d models exceed the supported co-location degree %d",
+				id, len(models), predictor.MaxCoLocated)
+		}
+		global := make([]int, len(models))
+		seen := make(map[dnn.ModelID]bool, len(models))
+		for local, m := range models {
+			g, ok := s.byName[m.String()]
+			if !ok {
+				return nil, fmt.Errorf("server: node %d hosts %s, which is not in Models", id, m)
+			}
+			if seen[m] {
+				return nil, fmt.Errorf("server: node %d hosts %s twice", id, m)
+			}
+			seen[m] = true
+			global[local] = g
+			s.hosts[g] = append(s.hosts[g], hostRef{node: id, local: local})
+		}
+		n, err := newNode(cfg, id, models, global, s.onResult,
+			func(evicted string) { s.routes.Delete(evicted) })
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, n)
+	}
+	for g, refs := range s.hosts {
+		if len(refs) == 0 {
+			return nil, fmt.Errorf("server: model %s hosted by no node", cfg.Models[g])
+		}
+		r := refs[0]
+		s.qos[g] = s.nodes[r.node].rt.Services()[r.local].QoS
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/infer", s.handleInfer)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -299,21 +366,31 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Runtime returns the underlying Abacus runtime (tests and diagnostics).
-func (s *Server) Runtime() *core.Runtime { return s.rt }
+// Runtime returns node 0's Abacus runtime (tests and diagnostics).
+func (s *Server) Runtime() *core.Runtime { return s.nodes[0].rt }
+
+// NumNodes returns how many serving nodes back the gateway.
+func (s *Server) NumNodes() int { return len(s.nodes) }
 
 // Handler returns the gateway's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Start launches the wall-clock bridge. Call once, before serving traffic.
-func (s *Server) Start() { s.bridge.Start() }
+// Start launches every node's wall-clock bridge, all anchored to one epoch
+// so the per-GPU virtual clocks share a wall origin. Call once, before
+// serving traffic.
+func (s *Server) Start() {
+	epoch := time.Now()
+	for _, n := range s.nodes {
+		n.bridge.StartAnchored(epoch)
+	}
+}
 
 // Draining reports whether the gateway has stopped admitting work.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Drain stops admitting new queries (they get 503), fast-forwards the
-// virtual clock so every in-flight query completes and is answered, and
-// stops the bridge. It is idempotent and safe from any goroutine; the HTTP
+// Drain stops admitting new queries (they get 503), fast-forwards every
+// node's virtual clock so in-flight queries complete and are answered, and
+// stops the bridges. It is idempotent and safe from any goroutine; the HTTP
 // listener should be shut down after Drain returns so responses still reach
 // their callers.
 func (s *Server) Drain() {
@@ -321,12 +398,14 @@ func (s *Server) Drain() {
 	// Flush completes all admitted queries immediately in virtual time; the
 	// sinks close their done channels, unblocking every waiting handler.
 	// ErrStopped just means a previous Drain already won.
-	_ = s.bridge.Flush()
-	s.bridge.Stop()
+	for _, n := range s.nodes {
+		_ = n.bridge.Flush()
+		n.bridge.Stop()
+	}
 }
 
 // ListenAndServe serves the gateway on addr until Shutdown (or a listener
-// error). It starts the bridge itself.
+// error). It starts the bridges itself.
 func (s *Server) ListenAndServe(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -369,29 +448,31 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// onResult is the runtime sink; it runs on the bridge loop goroutine.
-func (s *Server) onResult(q *sched.Query) {
-	p, ok := s.pending[q]
+// onResult is a node runtime's sink; it runs on that node's loop goroutine.
+func (s *Server) onResult(n *node, q *sched.Query) {
+	p, ok := n.pending[q]
 	if !ok {
 		return
 	}
-	delete(s.pending, q)
+	delete(n.pending, q)
 	if p.id != "" {
-		delete(s.byID, p.id)
-		s.recent.add(p.id, p)
+		delete(n.byID, p.id)
+		n.recent.add(p.id, p)
 	}
-	s.admit.Finish(q.Service.ID, p.workMS)
+	local := q.Service.ID
+	n.adm.Finish(local, p.workMS)
 	// Feed the divergence tracker the margin-free prediction against what
 	// actually happened; drops observe too (a drop is divergence at its
 	// loudest). The calibration tracker sees the same completion split into
 	// solo work and backlog, and keeps only near-uncontended samples.
-	s.admit.Degrade().Observe(q.Service.ID, p.predMS, q.Latency())
-	if s.tracker != nil {
-		s.tracker.ObserveAdmission(q.Service.ID, p.workMS, p.predMS-p.workMS, q.Latency())
+	n.adm.Degrade().Observe(local, p.predMS, q.Latency())
+	if n.tracker != nil {
+		n.tracker.ObserveAdmission(local, p.workMS, p.predMS-p.workMS, q.Latency())
 	}
+	n.publish()
 
 	s.mu.Lock()
-	st := s.svc[q.Service.ID]
+	st := s.svc[n.global[local]]
 	if q.Dropped {
 		st.dropped++
 		st.violated++
@@ -437,7 +518,60 @@ func (s *Server) respondFinished(w http.ResponseWriter, resp InferResponse, p *p
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleInfer admits, submits, and answers one query.
+// localOn returns the node-local service index of global service svc on
+// node id, if that node hosts it.
+func (s *Server) localOn(svc, id int) (int, bool) {
+	for _, r := range s.hosts[svc] {
+		if r.node == id {
+			return r.local, true
+		}
+	}
+	return 0, false
+}
+
+// route picks the serving node for one query of global service svc:
+// the sticky node when the RequestID has been seen, otherwise the
+// least-loaded healthy replica. migrated reports that a degraded replica
+// was skipped — the fault-driven migration the chaos suite pins.
+func (s *Server) route(svc int, requestID string) (n *node, local int, migrated bool) {
+	if requestID != "" {
+		if v, ok := s.routes.Load(requestID); ok {
+			if l, hosts := s.localOn(svc, v.(int)); hosts {
+				return s.nodes[v.(int)], l, false
+			}
+		}
+	}
+	refs := s.hosts[svc]
+	cand := refs
+	// Every probeEvery-th decision per service skips the health filter so a
+	// quarantined replica keeps receiving a trickle of traffic: its drift
+	// EWMA then tracks reality and a replica that healed (or tripped on a
+	// startup transient) decays below the exit ratio and rejoins, instead
+	// of staying frozen out because no completions ever update it.
+	if len(refs) > 1 && s.probes[svc].Add(1)%probeEvery != 0 {
+		healthy := make([]hostRef, 0, len(refs))
+		for _, r := range refs {
+			if !s.nodes[r.node].degraded[r.local].Load() {
+				healthy = append(healthy, r)
+			}
+		}
+		// All-degraded falls back to every replica: shedding is the
+		// admitters' job, routing still balances what is left.
+		if len(healthy) > 0 {
+			migrated = len(healthy) < len(refs)
+			cand = healthy
+		}
+	}
+	idx := make([]int, len(cand))
+	for i := range cand {
+		idx[i] = i
+	}
+	pick := cluster.LeastLoaded(idx, func(i int) float64 { return s.nodes[cand[i].node].load() })
+	r := cand[pick]
+	return s.nodes[r.node], r.local, migrated
+}
+
+// handleInfer routes, admits, submits, and answers one query.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, InferResponse{Error: "POST required"})
@@ -470,31 +604,45 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	n, local, migrated := s.route(svcIdx, req.RequestID)
+	storedRoute := false
+	if req.RequestID != "" {
+		// Pin the ID to one node before admission so concurrent duplicates
+		// serialize on a single loop, where byID/recent can suppress them.
+		if v, loaded := s.routes.LoadOrStore(req.RequestID, n.id); !loaded {
+			storedRoute = true
+		} else if owner := v.(int); owner != n.id {
+			if l, hosts := s.localOn(svcIdx, owner); hosts {
+				n, local, migrated = s.nodes[owner], l, false
+			}
+		}
+	}
+
 	var d admit.Decision
 	var pend, dup, cached *pending
-	err = s.bridge.Do(func() {
+	err = n.bridge.Do(func() {
 		if s.draining.Load() {
 			d = admit.Decision{Reason: reasonDraining}
 			return
 		}
 		if req.RequestID != "" {
-			if p, ok := s.byID[req.RequestID]; ok {
+			if p, ok := n.byID[req.RequestID]; ok {
 				dup = p
-				s.duplicates++
+				n.duplicates++
 				return
 			}
-			if p, ok := s.recent.get(req.RequestID); ok {
+			if p, ok := n.recent.get(req.RequestID); ok {
 				cached = p
-				s.duplicates++
+				n.duplicates++
 				return
 			}
 		}
-		now := s.rt.Engine().Now()
-		d = s.admit.Decide(now, svcIdx, in, req.DeadlineMS)
+		now := n.rt.Engine().Now()
+		d = n.adm.Decide(now, local, in, req.DeadlineMS)
 		if !d.OK {
 			return
 		}
-		q := s.rt.SubmitSLO(svcIdx, in, now, req.DeadlineMS)
+		q := n.rt.SubmitSLO(local, in, now, req.DeadlineMS)
 		pend = &pending{
 			q:      q,
 			id:     req.RequestID,
@@ -502,13 +650,21 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			workMS: d.WorkMS,
 			done:   make(chan struct{}),
 		}
-		s.pending[q] = pend
+		n.pending[q] = pend
 		if req.RequestID != "" {
-			s.byID[req.RequestID] = pend
+			n.byID[req.RequestID] = pend
 		}
-		s.admit.Admitted(svcIdx, d.WorkMS)
+		n.adm.Admitted(local, d.WorkMS)
+		n.routed++
+		if migrated {
+			n.migratedIn++
+		}
+		n.publish()
 	})
 	if err != nil || d.Reason == reasonDraining {
+		if storedRoute {
+			s.routes.Delete(req.RequestID)
+		}
 		s.countReject(svcIdx, reasonDraining)
 		resp.Reason = reasonDraining
 		resp.Error = "draining"
@@ -531,6 +687,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !d.OK {
+		// Best-effort: free the route slot so a retry may land on a
+		// healthier replica. A duplicate racing this window re-pins.
+		if storedRoute {
+			s.routes.Delete(req.RequestID)
+		}
 		s.countReject(svcIdx, d.Reason)
 		resp.Reason = d.Reason
 		resp.PredictedMS = d.PredMS
@@ -610,7 +771,7 @@ func (s *Server) countReject(svc int, reason string) {
 
 // retryAfterSeconds converts a virtual-ms backoff hint into wall seconds.
 func (s *Server) retryAfterSeconds(retryMS float64) int {
-	if s.bridge.Unpaced() {
+	if s.nodes[0].bridge.Unpaced() {
 		return 1
 	}
 	sec := int(math.Ceil(retryMS / s.cfg.Speedup / 1000))
@@ -624,28 +785,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.draining.Load()})
 }
 
-// Statz is the /statz payload.
+// Statz is the /statz payload. Top-level fields aggregate the whole
+// cluster (and pass the single node through verbatim when -nodes is 1, for
+// backward compatibility); Nodes carries the per-node detail, each entry
+// snapshotted atomically on its own loop goroutine.
 type Statz struct {
-	NowMS         float64 `json:"now_ms"` // virtual clock
+	NowMS         float64 `json:"now_ms"` // virtual clock (max across nodes)
 	Speedup       float64 `json:"speedup"`
 	Draining      bool    `json:"draining"`
 	BacklogPredMS float64 `json:"backlog_pred_ms"`
 	// Degrade reports the divergence tracker aggregate: whether any service
-	// currently widens its admission margin, how often the detectors have
-	// flipped, and the worst observed/predicted latency EWMA. Per-service
-	// detail lives on each ServiceStatz entry.
+	// on any node currently widens its admission margin, how often the
+	// detectors have flipped, and the worst observed/predicted latency EWMA.
+	// Per-service detail lives on each ServiceStatz entry.
 	Degrade admit.Status `json:"degrade"`
 	// Calibration reports the online latency-model calibration state
 	// (per-service correction slope/intercept, sample counts, residual
-	// quantiles); nil when calibration is off.
+	// quantiles); nil when calibration is off. With several nodes each
+	// service reports its best-fed replica (most samples).
 	Calibration *calib.Status `json:"calibration,omitempty"`
-	// PredictCache reports the group-signature memoization cache counters;
-	// nil when the cache is disabled. Misses equal the predictions the
-	// duration model actually computed — the honest measure of model work.
+	// PredictCache reports the group-signature memoization cache counters
+	// summed across nodes; nil when the cache is disabled. Misses equal the
+	// predictions the duration models actually computed — the honest measure
+	// of model work.
 	PredictCache *predictor.MemoStats `json:"predict_cache,omitempty"`
 	// Faults are gateway-wide fault counters.
 	Faults   FaultStatz     `json:"faults"`
 	Services []ServiceStatz `json:"services"`
+	// Nodes is the per-node detail, one entry per serving node.
+	Nodes []NodeStatz `json:"nodes,omitempty"`
 }
 
 // FaultStatz counts the faults the gateway has absorbed.
@@ -655,7 +823,8 @@ type FaultStatz struct {
 	RetriesSeen          int64 `json:"retries_seen"`
 }
 
-// ServiceStatz is one service's /statz entry.
+// ServiceStatz is one service's /statz entry, aggregated across its
+// hosting nodes.
 type ServiceStatz struct {
 	Service          int     `json:"service"`
 	Model            string  `json:"model"`
@@ -669,9 +838,9 @@ type ServiceStatz struct {
 	Dropped          int64   `json:"dropped"`
 	Violated         int64   `json:"violated"`
 	QueueDepth       int     `json:"queue_depth"`
-	// Per-service drift state: the admission margin this service's verdicts
-	// pay, whether its drift detector is active, and the divergence EWMA it
-	// acts on.
+	// Per-service drift state: the widest admission margin any replica's
+	// verdicts pay, whether any replica's drift detector is active, and the
+	// worst divergence EWMA acted on.
 	Margin      float64 `json:"margin"`
 	DriftActive bool    `json:"drift_active"`
 	Divergence  float64 `json:"divergence_ewma"`
@@ -681,56 +850,229 @@ type ServiceStatz struct {
 	GoodputQPS  float64 `json:"goodput_qps"` // virtual-time basis
 }
 
-// statz snapshots the gateway state. Queue depths, predicted backlog, and
-// degrade state come from the loop goroutine when the bridge still runs,
-// zero afterwards.
-func (s *Server) statz() Statz {
-	depths := make([]int, len(s.svc))
-	backlog := 0.0
-	var degrade admit.Status
-	var drift []admit.ServiceStatus
-	var calSt *calib.Status
-	var memoSt *predictor.MemoStats
-	var duplicates int64
-	_ = s.bridge.Do(func() {
-		s.admit.CopyOutstanding(depths)
-		backlog = s.admit.BacklogMS()
-		degrade = s.admit.Degrade().Snapshot()
-		drift = s.admit.Degrade().ServiceSnapshots()
-		if s.tracker != nil {
-			cs := s.tracker.Snapshot()
-			calSt = &cs
+// NodeStatz is one serving node's /statz entry. Everything except NowMS is
+// gathered in a single injection on the node's loop goroutine, so the
+// snapshot is internally consistent.
+type NodeStatz struct {
+	Node          int      `json:"node"`
+	Models        []string `json:"models"`
+	NowMS         float64  `json:"now_ms"`
+	BacklogPredMS float64  `json:"backlog_pred_ms"`
+	QueueDepth    int      `json:"queue_depth"`
+	// Routed counts admissions the router sent here; MigratedIn counts the
+	// subset routed here because a degraded sibling was skipped.
+	Routed               int64                `json:"routed"`
+	MigratedIn           int64                `json:"migrated_in"`
+	DuplicatesSuppressed int64                `json:"duplicates_suppressed"`
+	Degrade              admit.Status         `json:"degrade"`
+	Calibration          *calib.Status        `json:"calibration,omitempty"`
+	PredictCache         *predictor.MemoStats `json:"predict_cache,omitempty"`
+	Services             []NodeServiceStatz   `json:"services"`
+}
+
+// NodeServiceStatz is one hosted service's per-node state. Service is the
+// gateway-global index.
+type NodeServiceStatz struct {
+	Service     int     `json:"service"`
+	Model       string  `json:"model"`
+	QueueDepth  int     `json:"queue_depth"`
+	Margin      float64 `json:"margin"`
+	DriftActive bool    `json:"drift_active"`
+	Divergence  float64 `json:"divergence_ewma"`
+}
+
+// nodeStatz snapshots one node atomically on its loop goroutine. Calibration
+// service indices are rewritten to gateway-global. Zero state when the
+// bridge has stopped, matching the old single-engine behavior.
+func (s *Server) nodeStatz(n *node) NodeStatz {
+	st := NodeStatz{Node: n.id}
+	for _, m := range n.models {
+		st.Models = append(st.Models, m.String())
+	}
+	depths := make([]int, len(n.models))
+	_ = n.bridge.Do(func() {
+		n.adm.CopyOutstanding(depths)
+		st.BacklogPredMS = n.adm.BacklogMS()
+		st.Degrade = n.adm.Degrade().Snapshot()
+		drift := n.adm.Degrade().ServiceSnapshots()
+		for local, g := range n.global {
+			e := NodeServiceStatz{
+				Service:    g,
+				Model:      n.models[local].String(),
+				QueueDepth: depths[local],
+			}
+			if local < len(drift) {
+				e.Margin = drift[local].Margin
+				e.DriftActive = drift[local].Active
+				e.Divergence = drift[local].Divergence
+			}
+			st.Services = append(st.Services, e)
 		}
-		if s.memo != nil {
-			ms := s.memo.Stats()
-			memoSt = &ms
+		if n.tracker != nil {
+			cs := n.tracker.Snapshot()
+			for i := range cs.Services {
+				cs.Services[i].Service = n.global[cs.Services[i].Service]
+			}
+			st.Calibration = &cs
 		}
-		duplicates = s.duplicates
+		if n.memo != nil {
+			ms := n.memo.Stats()
+			st.PredictCache = &ms
+		}
+		st.Routed = n.routed
+		st.MigratedIn = n.migratedIn
+		st.DuplicatesSuppressed = n.duplicates
 	})
-	now := s.bridge.Now()
+	st.NowMS = n.bridge.Now()
+	for _, e := range st.Services {
+		st.QueueDepth += e.QueueDepth
+	}
+	return st
+}
+
+// mergeDegrade folds per-node degrade aggregates into one cluster view:
+// any-active, worst divergence and margin, deployment-wide sums.
+func mergeDegrade(nodes []NodeStatz) admit.Status {
+	var out admit.Status
+	for _, n := range nodes {
+		out.Active = out.Active || n.Degrade.Active
+		out.Transitions += n.Degrade.Transitions
+		out.Samples += n.Degrade.Samples
+		out.Shed += n.Degrade.Shed
+		if n.Degrade.Divergence > out.Divergence {
+			out.Divergence = n.Degrade.Divergence
+		}
+		if n.Degrade.Margin > out.Margin {
+			out.Margin = n.Degrade.Margin
+		}
+	}
+	if out.Margin < 1 {
+		out.Margin = 1
+	}
+	return out
+}
+
+// mergeCalibration picks, per global service, the replica with the most
+// feedback samples (ties → lowest node id, which comes first).
+func mergeCalibration(nodes []NodeStatz, numServices int) *calib.Status {
+	best := make([]*calib.ServiceStatus, numServices)
+	enabled, any := false, false
+	for _, n := range nodes {
+		if n.Calibration == nil {
+			continue
+		}
+		any = true
+		enabled = enabled || n.Calibration.Enabled
+		for i := range n.Calibration.Services {
+			e := &n.Calibration.Services[i]
+			if cur := best[e.Service]; cur == nil || e.Samples > cur.Samples {
+				best[e.Service] = e
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	out := &calib.Status{Enabled: enabled}
+	for _, e := range best {
+		if e != nil {
+			out.Services = append(out.Services, *e)
+		}
+	}
+	return out
+}
+
+// mergePredictCache sums cache counters (and capacity) across nodes.
+func mergePredictCache(nodes []NodeStatz) *predictor.MemoStats {
+	var out predictor.MemoStats
+	any := false
+	for _, n := range nodes {
+		if n.PredictCache == nil {
+			continue
+		}
+		any = true
+		out.Capacity += n.PredictCache.Capacity
+		out.Size += n.PredictCache.Size
+		out.Hits += n.PredictCache.Hits
+		out.Misses += n.PredictCache.Misses
+		out.Evictions += n.PredictCache.Evictions
+		out.Invalidations += n.PredictCache.Invalidations
+		out.ModelInvalidations += n.PredictCache.ModelInvalidations
+	}
+	if !any {
+		return nil
+	}
+	return &out
+}
+
+// statz snapshots the gateway. Per-node loop state comes from each node's
+// own goroutine (zero after its bridge stops); the single-node case passes
+// node 0's state through verbatim so pre-sharding consumers see identical
+// numbers.
+func (s *Server) statz() Statz {
+	nodeSt := make([]NodeStatz, len(s.nodes))
+	for i, n := range s.nodes {
+		nodeSt[i] = s.nodeStatz(n)
+	}
 
 	out := Statz{
-		NowMS:         now,
-		Speedup:       s.cfg.Speedup,
-		Draining:      s.draining.Load(),
-		BacklogPredMS: backlog,
-		Degrade:       degrade,
-		Calibration:   calSt,
-		PredictCache:  memoSt,
-		Faults: FaultStatz{
-			Malformed:            s.malformed.Load(),
-			DuplicatesSuppressed: duplicates,
-			RetriesSeen:          s.retriesSeen.Load(),
-		},
+		Speedup:  s.cfg.Speedup,
+		Draining: s.draining.Load(),
+		Nodes:    nodeSt,
 	}
-	services := s.rt.Services()
+	var duplicates int64
+	for _, n := range nodeSt {
+		out.BacklogPredMS += n.BacklogPredMS
+		if n.NowMS > out.NowMS {
+			out.NowMS = n.NowMS
+		}
+		duplicates += n.DuplicatesSuppressed
+	}
+	if len(nodeSt) == 1 {
+		out.Degrade = nodeSt[0].Degrade
+		out.Calibration = nodeSt[0].Calibration
+		out.PredictCache = nodeSt[0].PredictCache
+	} else {
+		out.Degrade = mergeDegrade(nodeSt)
+		out.Calibration = mergeCalibration(nodeSt, len(s.svc))
+		out.PredictCache = mergePredictCache(nodeSt)
+	}
+	out.Faults = FaultStatz{
+		Malformed:            s.malformed.Load(),
+		DuplicatesSuppressed: duplicates,
+		RetriesSeen:          s.retriesSeen.Load(),
+	}
+
+	// Per-service loop-owned aggregates across hosting nodes.
+	type svcLoop struct {
+		depth      int
+		margin     float64
+		active     bool
+		divergence float64
+	}
+	loop := make([]svcLoop, len(s.svc))
+	for _, n := range nodeSt {
+		for _, e := range n.Services {
+			l := &loop[e.Service]
+			l.depth += e.QueueDepth
+			l.active = l.active || e.DriftActive
+			if e.Margin > l.margin {
+				l.margin = e.Margin
+			}
+			if e.Divergence > l.divergence {
+				l.divergence = e.Divergence
+			}
+		}
+	}
+
+	now := out.NowMS
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, st := range s.svc {
 		entry := ServiceStatz{
 			Service:          i,
 			Model:            s.cfg.Models[i].String(),
-			QoSMS:            services[i].QoS,
+			QoSMS:            s.qos[i],
 			Accepted:         st.accepted,
 			RejectedDeadline: st.rejectedDeadline,
 			RejectedQueue:    st.rejectedQueue,
@@ -739,12 +1081,10 @@ func (s *Server) statz() Statz {
 			Completed:        st.completed,
 			Dropped:          st.dropped,
 			Violated:         st.violated,
-			QueueDepth:       depths[i],
-		}
-		if i < len(drift) {
-			entry.Margin = drift[i].Margin
-			entry.DriftActive = drift[i].Active
-			entry.Divergence = drift[i].Divergence
+			QueueDepth:       loop[i].depth,
+			Margin:           loop[i].margin,
+			DriftActive:      loop[i].active,
+			Divergence:       loop[i].divergence,
 		}
 		if lats := st.lats.snapshot(); len(lats) > 0 {
 			ps := stats.Percentiles(lats, 50, 99)

@@ -6,6 +6,7 @@ package serving
 
 import (
 	"fmt"
+	"sort"
 
 	"abacus/internal/dnn"
 	"abacus/internal/executor"
@@ -92,6 +93,10 @@ type Record struct {
 	Violated bool
 	Latency  float64 // valid when not dropped
 	QoS      float64
+	// Node is the GPU/node index that served (or dropped) the query.
+	// Single-GPU runs leave it 0; cluster runs tag the routed node, and a
+	// controller-level drop that never reached a GPU carries -1.
+	Node int
 }
 
 // Result aggregates a run.
@@ -350,6 +355,68 @@ func (r *Result) PerService() []ServiceSummary {
 		if r.DurationMS > 0 {
 			out[i].Goodput = float64(good[i]) / (r.DurationMS / 1000)
 		}
+	}
+	return out
+}
+
+// NodeSummary aggregates one node's (GPU's) outcomes — the per-node shape
+// shared by the cluster simulation's result and the sharded gateway's
+// reporting. Node -1 collects controller-level drops that never reached a
+// GPU (the Clockwork baseline's admission drops).
+type NodeSummary struct {
+	Node      int
+	Queries   int
+	Completed int
+	Dropped   int
+	Violated  int     // dropped or finished late
+	P50       float64 // over completed queries, ms
+	P99       float64
+	Goodput   float64 // queries completed within QoS per second
+}
+
+// SummarizeNodes groups records by Node and returns one summary per node
+// present, ordered by node index. durationMS scales the goodput column; pass
+// a non-positive value to leave goodput zero.
+func SummarizeNodes(records []Record, durationMS float64) []NodeSummary {
+	byNode := map[int]*NodeSummary{}
+	lats := map[int][]float64{}
+	good := map[int]int{}
+	for _, rec := range records {
+		s := byNode[rec.Node]
+		if s == nil {
+			s = &NodeSummary{Node: rec.Node}
+			byNode[rec.Node] = s
+		}
+		s.Queries++
+		if rec.Dropped {
+			s.Dropped++
+		} else {
+			s.Completed++
+			lats[rec.Node] = append(lats[rec.Node], rec.Latency)
+			if !rec.Violated {
+				good[rec.Node]++
+			}
+		}
+		if rec.Violated {
+			s.Violated++
+		}
+	}
+	nodes := make([]int, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	out := make([]NodeSummary, 0, len(nodes))
+	for _, n := range nodes {
+		s := byNode[n]
+		if l := lats[n]; len(l) > 0 {
+			ps := stats.Percentiles(l, 50, 99)
+			s.P50, s.P99 = ps[0], ps[1]
+		}
+		if durationMS > 0 {
+			s.Goodput = float64(good[n]) / (durationMS / 1000)
+		}
+		out = append(out, *s)
 	}
 	return out
 }
