@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json bench-predict chaos trend ci
+.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json bench-predict chaos trend workload ci
 
 all: build
 
@@ -92,5 +92,14 @@ chaos:
 	$(GO) run ./cmd/abacus-chaos
 	$(GO) run ./cmd/abacus-chaos -scenario throttle50-degraded -assert-goodput 0.99
 	$(GO) run ./cmd/abacus-chaos -scenario cluster-node-throttle -assert-goodput 0.99
+	$(GO) run ./cmd/abacus-chaos -scenario flash-crowd -assert-goodput 0.99
+	$(GO) run ./cmd/abacus-chaos -scenario heavy-tail -assert-goodput 0.99
+	$(GO) run ./cmd/abacus-chaos -scenario diurnal-ramp -assert-goodput 0.98
 
-ci: build vet fmt-check test-race
+# Validate every example workload spec: parse, bind against the model zoo,
+# materialize, and a tracev2 write→read→write round trip that must be
+# byte-identical.
+workload:
+	$(GO) run ./cmd/abacus-workload -validate examples/workloads/*
+
+ci: build vet fmt-check test-race workload

@@ -8,6 +8,7 @@
 //	abacus-chaos                             # run the built-in suite
 //	abacus-chaos -scenario throttle50-degraded -assert-goodput 0.99
 //	abacus-chaos -script faults.csv -models Res152,IncepV3 -qps 40
+//	abacus-chaos -workload examples/workloads/flash-crowd.json -assert-goodput 0.97
 //	abacus-chaos -bench -o BENCH_gateway.json # CI benchmark artifact
 package main
 
@@ -23,6 +24,7 @@ import (
 	"abacus/internal/admit"
 	"abacus/internal/chaos"
 	"abacus/internal/cli"
+	"abacus/internal/workload"
 )
 
 var fail = cli.Failer("abacus-chaos")
@@ -31,6 +33,7 @@ func main() {
 	scenarioFlag := flag.String("scenario", "", "named built-in scenario (default: the whole suite); see -list")
 	list := flag.Bool("list", false, "list built-in scenarios and exit")
 	scriptFile := flag.String("script", "", "fault script file (JSON or CSV kind,start_ms,end_ms,magnitude[,mem]) replacing the built-ins")
+	workloadFile := flag.String("workload", "", "workload spec file (JSON or YAML, see internal/workload) driving arrivals for a -script-style run; combinable with -script faults")
 	modelsFlag := flag.String("models", "Res152,IncepV3", "comma-separated model names for -script runs")
 	nodes := flag.Int("nodes", 1, "per-GPU nodes for -script runs; every node hosts every model, and windows may be node-scoped")
 	qps := flag.Float64("qps", 30, "aggregate offered load for -script runs, queries per second")
@@ -57,7 +60,7 @@ func main() {
 		return
 	}
 
-	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *modelsFlag, *nodes, *qps, *durationMS, *seed, *degrade, *retry, *predictCache)
+	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *workloadFile, *modelsFlag, *nodes, *qps, *durationMS, *seed, *degrade, *retry, *predictCache)
 	if err != nil {
 		fail(err)
 	}
@@ -103,29 +106,45 @@ func main() {
 }
 
 // selectScenarios resolves the flag combination into the scenario list.
-func selectScenarios(name, scriptFile, modelsFlag string, nodes int, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int) ([]chaos.Scenario, error) {
-	if scriptFile != "" {
-		data, err := os.ReadFile(scriptFile)
-		if err != nil {
-			return nil, err
-		}
-		script, err := chaos.ParseScript(data)
-		if err != nil {
-			return nil, err
-		}
+func selectScenarios(name, scriptFile, workloadFile, modelsFlag string, nodes int, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int) ([]chaos.Scenario, error) {
+	if scriptFile != "" || workloadFile != "" {
 		models, err := cli.ParseModels(modelsFlag)
 		if err != nil {
 			return nil, err
 		}
 		sc := chaos.Scenario{
-			Name:         strings.TrimSuffix(scriptFile, ".csv"),
 			Models:       models,
 			Nodes:        nodes,
 			QPS:          qps,
 			DurationMS:   durationMS,
 			Seed:         seed,
-			Script:       script,
 			PredictCache: predictCache,
+		}
+		if scriptFile != "" {
+			data, err := os.ReadFile(scriptFile)
+			if err != nil {
+				return nil, err
+			}
+			script, err := chaos.ParseScript(data)
+			if err != nil {
+				return nil, err
+			}
+			sc.Script = script
+			sc.Name = strings.TrimSuffix(scriptFile, ".csv")
+		}
+		if workloadFile != "" {
+			data, err := os.ReadFile(workloadFile)
+			if err != nil {
+				return nil, err
+			}
+			spec, err := workload.Parse(data)
+			if err != nil {
+				return nil, err
+			}
+			sc.Workload = spec
+			if sc.Name == "" {
+				sc.Name = spec.Name
+			}
 		}
 		if !degrade {
 			sc.Degrade = admit.DegradeConfig{Disabled: true}

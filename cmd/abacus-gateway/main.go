@@ -10,6 +10,8 @@
 //	abacus-gateway -models Res101,Res152,VGG19,Bert -speedup 10 -queue-cap 32
 //	abacus-gateway -models Res152,IncepV3 -nodes 4       # replicated cluster
 //	abacus-gateway -models Res50,Res152,IncepV3 -placement 'Res50,Res152;IncepV3'
+//	abacus-gateway -spec examples/workloads/flash-crowd.json   # preflight a workload
+//	abacus-gateway -trace session.trace                  # capture arrivals to tracev2
 package main
 
 import (
@@ -24,6 +26,8 @@ import (
 
 	"abacus"
 	"abacus/internal/cli"
+	"abacus/internal/trace"
+	"abacus/internal/workload"
 )
 
 var fail = cli.Failer("abacus-gateway")
@@ -41,6 +45,8 @@ func main() {
 	predictCache := flag.Int("predict-cache", 4096, "group-signature prediction cache capacity (0 disables)")
 	calibSeed := flag.Int64("calib-seed", 1, "seed for the calibration feedback reservoirs")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on shutdown")
+	specFile := flag.String("spec", "", "preflight a workload spec (JSON or YAML) against this deployment and print its offered-load digest before serving")
+	traceOut := flag.String("trace", "", "capture every admitted-path arrival and write it as a tracev2 file on drain")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -84,6 +90,33 @@ func main() {
 	if *calibrate {
 		cfg.Calib = &abacus.CalibrationConfig{Seed: *calibSeed}
 	}
+	specName := ""
+	if *specFile != "" {
+		// Preflight: the spec must bind against exactly this deployment, so a
+		// loadgen pointed at us with the same spec is guaranteed to validate.
+		data, err := os.ReadFile(*specFile)
+		if err != nil {
+			fail(err)
+		}
+		spec, err := workload.Parse(data)
+		if err != nil {
+			fail(err)
+		}
+		c, err := spec.Bind(models, 1)
+		if err != nil {
+			fail(fmt.Errorf("%s does not bind against this deployment: %w", *specFile, err))
+		}
+		specName = c.Spec.Name
+		fmt.Printf("workload %q preflight ok:\n", c.Spec.Name)
+		for _, s := range c.Summary() {
+			fmt.Printf("  svc %d %s: mean %.4g qps, peak %.4g qps\n", s.Service, s.Model, s.MeanQPS, s.PeakQPS)
+		}
+	}
+	var capture *trace.Capture
+	if *traceOut != "" {
+		capture = trace.NewCapture()
+		cfg.Capture = capture
+	}
 
 	gw, err := abacus.NewGateway(cfg)
 	if err != nil {
@@ -124,4 +157,34 @@ func main() {
 			fail(err)
 		}
 	}
+
+	if capture != nil {
+		if err := writeCapture(*traceOut, specName, len(models), capture); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// writeCapture persists the session's recorded arrivals as a tracev2 file;
+// replaying it through abacus-loadgen -trace re-offers the exact load this
+// gateway saw, on the same virtual timestamps.
+func writeCapture(path, name string, services int, capture *trace.Capture) error {
+	if name == "" {
+		name = "gateway-capture"
+	}
+	arrivals := capture.Snapshot()
+	meta := workload.CaptureMeta(name, services, arrivals)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := workload.WriteTrace(f, meta, arrivals); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "abacus-gateway: wrote %d captured arrivals to %s\n", len(arrivals), path)
+	return nil
 }

@@ -1,18 +1,21 @@
 // Command abacus-loadgen drives a running abacus-gateway over HTTP: an
-// open-loop mode replaying a seeded Poisson schedule (or a CSV trace)
-// against the wall clock, and a closed-loop mode with a fixed number of
-// in-flight requesters. It discovers the deployment from /statz, and in
-// open-loop mode replays the identical schedule through the offline
-// simulator to report predicted-vs-delivered latency for the same seed.
+// open-loop mode replaying a seeded Poisson schedule, a workload spec, or a
+// trace file against the wall clock, and a closed-loop mode with a fixed
+// number of in-flight requesters (optionally with per-worker think times).
+// It discovers the deployment from /statz, and in open-loop mode replays the
+// identical schedule through the offline simulator to report
+// predicted-vs-delivered latency for the same seed.
 //
 // Usage:
 //
 //	abacus-loadgen -target http://127.0.0.1:8080 -qps 30 -seconds 10 -seed 1
-//	abacus-loadgen -closed -concurrency 8 -requests 500
-//	abacus-loadgen -trace arrivals.csv -no-compare
+//	abacus-loadgen -spec examples/workloads/flash-crowd.json
+//	abacus-loadgen -closed -concurrency 8 -requests 500 -think-ms 200
+//	abacus-loadgen -trace arrivals.csv -no-compare     # CSV or tracev2
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -25,6 +28,7 @@ import (
 	"abacus/internal/dnn"
 	"abacus/internal/server"
 	"abacus/internal/trace"
+	"abacus/internal/workload"
 )
 
 var fail = cli.Failer("abacus-loadgen")
@@ -36,10 +40,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	speedup := flag.Float64("speedup", 0, "schedule pacing factor (0: match the gateway's)")
 	deadlineMS := flag.Float64("deadline-ms", 0, "per-request SLO override in virtual ms (0: service QoS)")
-	traceIn := flag.String("trace", "", "replay an arrival trace CSV instead of generating Poisson load")
+	traceIn := flag.String("trace", "", "replay an arrival trace file (CSV or tracev2, sniffed) instead of generating Poisson load")
+	specFile := flag.String("spec", "", "compile a workload spec (JSON or YAML) into the arrival schedule instead of Poisson load")
 	closed := flag.Bool("closed", false, "closed-loop mode: keep -concurrency requests in flight")
 	concurrency := flag.Int("concurrency", 4, "closed-loop in-flight requesters")
 	requests := flag.Int("requests", 0, "closed-loop total requests (0: schedule length)")
+	thinkMS := flag.Float64("think-ms", 0, "closed-loop mean think time between a worker's requests, virtual ms (0: none)")
+	thinkDist := flag.String("think-dist", "exp", "closed-loop think-time distribution: exp, lognormal, constant, or pareto")
+	thinkSigma := flag.Float64("think-sigma", 0, "lognormal think-time sigma")
+	thinkAlpha := flag.Float64("think-alpha", 0, "pareto think-time tail exponent")
 	noCompare := flag.Bool("no-compare", false, "skip the offline simulator comparison")
 	drop := flag.Float64("drop", 0, "probability each inference request or its response is lost in transit (exercises the retry path)")
 	dropSeed := flag.Int64("drop-seed", 1, "seed for the lossy-transport drop coins")
@@ -86,18 +95,49 @@ func main() {
 	fmt.Printf("gateway serves %v (speedup %g)\n", models, st.Speedup)
 
 	var arrivals []trace.Arrival
-	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
+	switch {
+	case *traceIn != "" && *specFile != "":
+		fail(fmt.Errorf("-trace and -spec are mutually exclusive"))
+	case *traceIn != "":
+		data, err := os.ReadFile(*traceIn)
 		if err != nil {
 			fail(err)
 		}
-		arrivals, err = trace.ReadCSV(f, len(models))
-		f.Close()
+		if workload.IsTraceV2(data) {
+			meta, got, err := workload.ReadTrace(bytes.NewReader(data))
+			if err != nil {
+				fail(err)
+			}
+			if meta.Services > len(models) {
+				fail(fmt.Errorf("%s spans %d services, gateway serves %d", *traceIn, meta.Services, len(models)))
+			}
+			arrivals = got
+			fmt.Printf("replaying %d arrivals from %s (tracev2 %q, seed %d)\n",
+				len(arrivals), *traceIn, meta.Name, meta.Seed)
+		} else {
+			arrivals, err = trace.ReadCSV(bytes.NewReader(data), len(models))
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("replaying %d arrivals from %s\n", len(arrivals), *traceIn)
+		}
+	case *specFile != "":
+		data, err := os.ReadFile(*specFile)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("replaying %d arrivals from %s\n", len(arrivals), *traceIn)
-	} else {
+		spec, err := workload.Parse(data)
+		if err != nil {
+			fail(err)
+		}
+		c, err := spec.Bind(models, *seed)
+		if err != nil {
+			fail(err)
+		}
+		arrivals = c.Materialize()
+		fmt.Printf("compiled %s: %d arrivals over %.1fs (seed %d)\n",
+			*specFile, len(arrivals), c.Spec.DurationMS/1000, c.Seed)
+	default:
 		arrivals = trace.NewGenerator(models, *seed).Poisson(*qps, *seconds*1000)
 		fmt.Printf("generated %d arrivals (%.0f QPS over %.0fs, seed %d)\n",
 			len(arrivals), *qps, *seconds, *seed)
@@ -111,6 +151,16 @@ func main() {
 	if maxAttempts > 1 {
 		retry = &server.RetryPolicy{MaxAttempts: maxAttempts, JitterSeed: *dropSeed}
 	}
+	var think *workload.ThinkSpec
+	if *thinkMS > 0 {
+		think = &workload.ThinkSpec{Kind: *thinkDist, MeanMS: *thinkMS, Sigma: *thinkSigma, Alpha: *thinkAlpha}
+		if err := think.Validate(); err != nil {
+			fail(err)
+		}
+		if !*closed {
+			fail(fmt.Errorf("-think-ms only applies to -closed mode"))
+		}
+	}
 	res, err := server.RunLoad(ctx, server.LoadConfig{
 		Client:      client,
 		Models:      models,
@@ -120,6 +170,8 @@ func main() {
 		Closed:      *closed,
 		Concurrency: *concurrency,
 		Requests:    *requests,
+		Think:       think,
+		Seed:        *seed,
 		Retry:       retry,
 	})
 	if err != nil {

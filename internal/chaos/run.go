@@ -14,6 +14,7 @@ import (
 	"abacus/internal/sim"
 	"abacus/internal/stats"
 	"abacus/internal/trace"
+	"abacus/internal/workload"
 )
 
 // RetryConfig shapes the scenario's virtual retrying client. Unlike the
@@ -93,6 +94,12 @@ type Scenario struct {
 	// cache sits below Perturbed — caching above it would change the noise
 	// stream — so reports stay byte-identical cache on or off.
 	PredictCache int
+	// Workload, when non-nil, replaces the default Poisson arrival source
+	// with a declarative workload spec (internal/workload): phases, bursty
+	// processes, client cohorts. The spec binds against Models; its duration
+	// overrides DurationMS and its seed falls back to Seed when unset. QPS is
+	// ignored (the report records the spec's realized rate instead).
+	Workload *workload.Spec
 }
 
 // Report is one scenario's outcome. All fields derive from virtual time and
@@ -308,6 +315,15 @@ func Run(sc Scenario) (*Report, error) {
 	if sc.DurationMS <= 0 {
 		sc.DurationMS = 10000
 	}
+	var compiled *workload.Compiled
+	if sc.Workload != nil {
+		var err error
+		compiled, err = sc.Workload.Bind(sc.Models, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sc.DurationMS = sc.Workload.DurationMS
+	}
 	if sc.QoSFactor == 0 {
 		sc.QoSFactor = 2
 	}
@@ -371,7 +387,15 @@ func Run(sc Scenario) (*Report, error) {
 	for _, w := range sc.Script.Windows {
 		h.scheduleWindow(w)
 	}
-	arrivals := trace.NewGenerator(sc.Models, sc.Seed).Poisson(sc.QPS, sc.DurationMS)
+	var arrivals []trace.Arrival
+	if compiled != nil {
+		arrivals = compiled.Materialize()
+		// The offered rate is a property of the spec, not a knob; report the
+		// realized mean so floors stay meaningful.
+		h.rep.QPS = float64(len(arrivals)) / (sc.DurationMS / 1000)
+	} else {
+		arrivals = trace.NewGenerator(sc.Models, sc.Seed).Poisson(sc.QPS, sc.DurationMS)
+	}
 	for i, a := range arrivals {
 		r := &request{idx: i, svc: a.Service, in: a.Input}
 		r.deadline = sim.Time(a.Time) + sim.Time(h.nodes[0].rt.Services()[a.Service].QoS)

@@ -14,6 +14,7 @@ import (
 	"abacus/internal/admit"
 	"abacus/internal/calib"
 	"abacus/internal/runner"
+	"abacus/internal/workload"
 )
 
 // Scenarios returns the named built-in suite, sorted by name.
@@ -125,6 +126,61 @@ func Scenarios() []Scenario {
 				{Kind: KindMalformed, Start: 3000, End: 5000, Magnitude: 0.1},
 			}},
 			Retry: &RetryConfig{},
+		},
+		{
+			// A flash crowd hits one service: steady 15 qps each, then service
+			// 0 surges to ~6× for a second with sharp 250 ms edges. The
+			// admission controller must shed the unservable excess without
+			// letting the surge starve service 1.
+			Name: "flash-crowd", Seed: 41,
+			Degrade: fastDegrade,
+			Workload: &workload.Spec{
+				Name: "flash-crowd", DurationMS: 10_000,
+				Services: []workload.ServiceSpec{
+					{Service: 0, Phases: []workload.PhaseSpec{{
+						Kind: workload.PhaseFlash, QPS: 15, PeakQPS: 90,
+						PeakStartMS: 4000, PeakEndMS: 5000, RampMS: 250,
+					}}},
+					{Service: 1, Phases: []workload.PhaseSpec{{
+						Kind: workload.PhaseConstant, QPS: 15,
+					}}},
+				},
+			},
+		},
+		{
+			// Heavy-tailed gaps at the baseline's mean rate: Gamma shape 0.3
+			// gives CV² ≈ 3.3, so arrivals clump into bursts with long
+			// silences — the regime where mean-rate admission headroom lies.
+			Name: "heavy-tail", Seed: 43,
+			Degrade: fastDegrade,
+			Workload: &workload.Spec{
+				Name: "heavy-tail", DurationMS: 10_000,
+				Services: []workload.ServiceSpec{
+					{Service: 0, Process: workload.ProcessSpec{Kind: workload.ProcGamma, Shape: 0.3},
+						Phases: []workload.PhaseSpec{{Kind: workload.PhaseConstant, QPS: 15}}},
+					{Service: 1, Process: workload.ProcessSpec{Kind: workload.ProcGamma, Shape: 0.3},
+						Phases: []workload.PhaseSpec{{Kind: workload.PhaseConstant, QPS: 15}}},
+				},
+			},
+		},
+		{
+			// Compressed diurnal drift: service 0 swings ±60% around its mean
+			// over a 5 s "day" while service 1 ramps 5→35 qps, crossing load
+			// shares mid-run — the slow-drift regime the MAF experiment
+			// approximates, now as a first-class gated scenario.
+			Name: "diurnal-ramp", Seed: 47,
+			Degrade: fastDegrade,
+			Workload: &workload.Spec{
+				Name: "diurnal-ramp", DurationMS: 10_000,
+				Services: []workload.ServiceSpec{
+					{Service: 0, Phases: []workload.PhaseSpec{{
+						Kind: workload.PhaseSine, QPS: 12, Amplitude: 0.6, PeriodMS: 5000,
+					}}},
+					{Service: 1, Phases: []workload.PhaseSpec{{
+						Kind: workload.PhaseRamp, QPS: 5, ToQPS: 35,
+					}}},
+				},
+			},
 		},
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

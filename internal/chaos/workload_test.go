@@ -1,0 +1,62 @@
+package chaos
+
+import "testing"
+
+// TestWorkloadScenarioFloors pins the QoS floors of the three spec-driven
+// scenarios — the same floors `make chaos` asserts via the CLI, held here so
+// `go test` alone catches a regression. The floors leave a little headroom
+// under the measured goodputs (1.0 / 1.0 / 0.9963) so legitimate scheduler
+// tuning doesn't trip them, while a broken workload compiler (wrong rates,
+// lost burstiness, perturbed streams) will.
+func TestWorkloadScenarioFloors(t *testing.T) {
+	cases := []struct {
+		name  string
+		floor float64
+	}{
+		{"flash-crowd", 0.99},
+		{"heavy-tail", 0.99},
+		{"diurnal-ramp", 0.98},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, ok := Lookup(tc.name)
+			if !ok {
+				t.Fatalf("%s scenario missing", tc.name)
+			}
+			if sc.Workload == nil {
+				t.Fatalf("%s is not workload-driven", tc.name)
+			}
+			rep, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Goodput < tc.floor {
+				t.Errorf("goodput %.4f < floor %.2f:\n%s", rep.Goodput, tc.floor, rep.Text())
+			}
+			if rep.Sent == 0 {
+				t.Error("workload scenario sent nothing")
+			}
+			if rep.QPS <= 0 {
+				t.Errorf("report QPS %.4f not the realized rate", rep.QPS)
+			}
+		})
+	}
+}
+
+// TestFlashCrowdShapeSurvivesHarness checks the flash actually reaches the
+// gateway: the realized rate of the flash-crowd scenario must clearly exceed
+// its off-peak baseline (15+15 qps), which only happens if the compiled
+// spike survives Bind → Materialize → harness replay.
+func TestFlashCrowdShapeSurvivesHarness(t *testing.T) {
+	sc, ok := Lookup("flash-crowd")
+	if !ok {
+		t.Fatal("flash-crowd scenario missing")
+	}
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.QPS < 1.3*30 {
+		t.Errorf("realized %.1f qps barely above the 30 qps baseline — flash lost in compilation", rep.QPS)
+	}
+}

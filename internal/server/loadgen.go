@@ -20,6 +20,7 @@ import (
 	"abacus/internal/serving"
 	"abacus/internal/stats"
 	"abacus/internal/trace"
+	"abacus/internal/workload"
 )
 
 // LoadConfig shapes one load-generation run.
@@ -41,9 +42,22 @@ type LoadConfig struct {
 	Closed      bool
 	Concurrency int
 	Requests    int
+	// Think, when non-nil, makes each closed-loop worker pause between its
+	// requests per this distribution (virtual ms, compressed by Speedup like
+	// arrival times) — the worker becomes a modeled user, not a saturating
+	// hammer. Each worker draws from its own RNG derived from (Seed, worker
+	// index), never from a shared stream, so the think sequence every worker
+	// sees is a pure function of the config at any goroutine interleaving.
+	Think *workload.ThinkSpec
+	// Seed derives the per-worker think RNG streams (default 1).
+	Seed int64
 	// Retry, when non-nil, sends every request through a Retrier under this
 	// policy (idempotency keys assigned automatically).
 	Retry *RetryPolicy
+
+	// thinkHook observes every think draw (worker, ms) before the sleep; the
+	// determinism regression test uses it to pin per-worker sequences.
+	thinkHook func(worker int, ms float64)
 }
 
 // LoadStats aggregates one slice of outcomes.
@@ -148,18 +162,47 @@ func runClosed(ctx context.Context, cfg LoadConfig, col *collector) {
 			}
 		}
 	}()
+	var think func(*workload.PRNG) float64
+	if cfg.Think != nil && cfg.Think.MeanMS > 0 {
+		think = cfg.Think.Sampler()
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		// Each worker's think stream is derived from (seed, worker), not
+		// drawn from a generator the workers share: a shared stream would
+		// hand out draws in whatever order goroutines happened to reach it,
+		// making -concurrency N runs irreproducible.
+		rng := workload.NewPRNG(workload.SubSeed(seed, saltThinkWorker, uint64(w)))
+		go func(w int, rng *workload.PRNG) {
 			defer wg.Done()
 			for a := range next {
 				sendOne(ctx, cfg, a, col)
+				if think == nil {
+					continue
+				}
+				ms := think(rng)
+				if cfg.thinkHook != nil {
+					cfg.thinkHook(w, ms)
+				}
+				wait := time.Duration(ms / cfg.Speedup * float64(time.Millisecond))
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
 			}
-		}()
+		}(w, rng)
 	}
 	wg.Wait()
 }
+
+// saltThinkWorker namespaces the per-worker think-RNG derivation.
+const saltThinkWorker = 0x77
 
 func sendOne(ctx context.Context, cfg LoadConfig, a trace.Arrival, col *collector) {
 	req := InferRequest{

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/trace"
+	"abacus/internal/workload"
+)
+
+// TestClosedLoopThinkPerWorkerStreams pins the S3 determinism contract: every
+// closed-loop worker's think sequence is a pure function of (Seed, worker
+// index). Workers race for requests on a shared channel, so how MANY thinks
+// each one draws varies with goroutine scheduling — but the sequence each
+// worker does draw must always be a prefix of the stream derived from its own
+// (seed, worker) sub-seed, never perturbed by what the other workers consumed.
+func TestClosedLoopThinkPerWorkerStreams(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet152}
+	_, client := newTestServer(t, Config{Models: models, Speedup: 5000})
+
+	think := &workload.ThinkSpec{Kind: workload.ThinkExp, MeanMS: 2}
+	const seed, workers = 9, 4
+	arrivals := trace.NewGenerator(models, 3).Poisson(50, 1000)
+
+	run := func() [][]float64 {
+		per := make([][]float64, workers)
+		var mu sync.Mutex
+		cfg := LoadConfig{
+			Client:      client,
+			Models:      models,
+			Arrivals:    arrivals,
+			Speedup:     5000,
+			Closed:      true,
+			Concurrency: workers,
+			Requests:    48,
+			Think:       think,
+			Seed:        seed,
+			thinkHook: func(w int, ms float64) {
+				mu.Lock()
+				per[w] = append(per[w], ms)
+				mu.Unlock()
+			},
+		}
+		if _, err := RunLoad(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+		return per
+	}
+
+	sampler := think.Sampler()
+	for trial := 0; trial < 2; trial++ {
+		per := run()
+		total := 0
+		for w, seq := range per {
+			total += len(seq)
+			rng := workload.NewPRNG(workload.SubSeed(seed, 0x77, uint64(w)))
+			for i, got := range seq {
+				if want := sampler(rng); got != want {
+					t.Fatalf("trial %d worker %d draw %d = %v, want %v (stream not a pure function of seed+worker)", trial, w, i, got, want)
+				}
+			}
+		}
+		if total != 48 {
+			t.Fatalf("trial %d recorded %d thinks, want one per request (48)", trial, total)
+		}
+	}
+}
+
+// TestGatewayCaptureRoundTrips drives the gateway with Config.Capture set and
+// checks the recorded arrivals mirror what was sent — and that the capture
+// persists through tracev2 byte-identically, closing the record/replay loop.
+func TestGatewayCaptureRoundTrips(t *testing.T) {
+	models := []dnn.ModelID{dnn.ResNet152, dnn.InceptionV3}
+	cap := trace.NewCapture()
+	_, client := newTestServer(t, Config{Models: models, Speedup: 5000, Capture: cap})
+
+	arrivals := trace.NewGenerator(models, 5).Poisson(60, 1500)
+	if _, err := RunLoad(context.Background(), LoadConfig{
+		Client: client, Models: models, Arrivals: arrivals, Speedup: 5000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := cap.Snapshot()
+	if len(got) != len(arrivals) {
+		t.Fatalf("captured %d arrivals, sent %d", len(got), len(arrivals))
+	}
+	counts := make([]int, len(models))
+	for i, a := range got {
+		if a.Service < 0 || a.Service >= len(models) {
+			t.Fatalf("captured arrival %d has service %d outside deployment", i, a.Service)
+		}
+		counts[a.Service]++
+		if i > 0 && got[i].Time < got[i-1].Time {
+			t.Fatalf("snapshot not time-sorted at %d", i)
+		}
+	}
+	want := make([]int, len(models))
+	for _, a := range arrivals {
+		want[a.Service]++
+	}
+	for s := range counts {
+		if counts[s] != want[s] {
+			t.Errorf("service %d: captured %d, sent %d", s, counts[s], want[s])
+		}
+	}
+
+	meta := workload.CaptureMeta("capture-test", len(models), got)
+	var first bytes.Buffer
+	if err := workload.WriteTrace(&first, meta, got); err != nil {
+		t.Fatal(err)
+	}
+	meta2, got2, err := workload.ReadTrace(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := workload.WriteTrace(&second, meta2, got2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Error("captured session does not round-trip byte-identically through tracev2")
+	}
+}

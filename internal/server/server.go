@@ -43,6 +43,7 @@ import (
 	"abacus/internal/predictor"
 	"abacus/internal/sched"
 	"abacus/internal/stats"
+	"abacus/internal/trace"
 )
 
 // Config assembles a gateway.
@@ -109,6 +110,13 @@ type Config struct {
 	// (4096 signatures); negative disables caching. A calibration refit of
 	// one service invalidates only that service's entries.
 	PredictCache int
+	// Capture, when non-nil, records every validated, non-duplicate arrival
+	// the gateway sees (virtual time, global service index, input) — a live
+	// session becomes a replayable schedule that tracev2 can persist
+	// byte-identically (see cmd/abacus-gateway -trace). Recording happens on
+	// the owning node's loop goroutine at admission time, so captured times
+	// are the exact virtual instants admission reasoned about.
+	Capture *trace.Capture
 }
 
 // hostRef locates one replica of a service: the hosting node and the
@@ -638,6 +646,9 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		now := n.rt.Engine().Now()
+		if s.cfg.Capture != nil {
+			s.cfg.Capture.Record(trace.Arrival{Time: float64(now), Service: svcIdx, Input: in})
+		}
 		d = n.adm.Decide(now, local, in, req.DeadlineMS)
 		if !d.OK {
 			return

@@ -36,11 +36,15 @@ func NewGenerator(models []dnn.ModelID, seed int64) *Generator {
 // {4,8,16,32}; sequence length uniform over {8,16,32,64} for sequence
 // models.
 func (g *Generator) randomInput(service int) dnn.Input {
-	m := dnn.Get(g.models[service])
+	return randomInput(g.rng, g.models, service)
+}
+
+func randomInput(rng *rand.Rand, models []dnn.ModelID, service int) dnn.Input {
+	m := dnn.Get(models[service])
 	batches := dnn.Batches()
-	in := dnn.Input{Batch: batches[g.rng.Intn(len(batches))]}
+	in := dnn.Input{Batch: batches[rng.Intn(len(batches))]}
 	if m.IsSequence() {
-		in.SeqLen = m.SeqLens[g.rng.Intn(len(m.SeqLens))]
+		in.SeqLen = m.SeqLens[rng.Intn(len(m.SeqLens))]
 	}
 	return in
 }
@@ -112,6 +116,15 @@ type MAFConfig struct {
 	BurstFactor float64
 	// Seed drives all randomness.
 	Seed int64
+	// Legacy reproduces the original single-stream layout, where the
+	// per-minute burst coin, arrival gaps, and input draws all consumed the
+	// generator's one RNG. In that layout the config knobs are entangled:
+	// changing BurstProb shifts every later arrival draw, so two traces
+	// differing only in burstiness differ everywhere. The default layout
+	// derives an independent stream per minute plus a dedicated burst-coin
+	// stream, making every knob orthogonal. Keep Legacy only to reproduce
+	// trace bytes from before the split.
+	Legacy bool
 }
 
 // DefaultMAFConfig returns the shape used by the Figure 22 reproduction.
@@ -130,12 +143,20 @@ func DefaultMAFConfig(baseQPS, durationMS float64, seed int64) MAFConfig {
 // rates follow a diurnal sinusoid with random bursts; arrivals within a
 // minute are Poisson. The real MAF trace is proprietary production data; see
 // DESIGN.md for the substitution rationale.
+//
+// Randomness layout (unless cfg.Legacy): each minute's arrivals come from an
+// RNG derived purely from (Seed, minute), and the burst coin for minute m is
+// derived from (Seed, burst salt, m) — three independent stream families. So
+// toggling BurstProb leaves every non-burst minute byte-identical, and the
+// generator's own RNG state is untouched (MAF output is a pure function of
+// cfg, whatever was drawn before).
 func (g *Generator) MAF(cfg MAFConfig) []Arrival {
 	if cfg.BaseQPS <= 0 || cfg.DurationMS <= 0 {
 		panic("trace: non-positive MAF rate or duration")
 	}
 	const minuteMS = 60_000
 	var out []Arrival
+	minute := 0
 	for start := 0.0; start < cfg.DurationMS; start += minuteMS {
 		end := start + minuteMS
 		if end > cfg.DurationMS {
@@ -143,16 +164,56 @@ func (g *Generator) MAF(cfg MAFConfig) []Arrival {
 		}
 		phase := 2 * math.Pi * start / cfg.DurationMS
 		rate := cfg.BaseQPS * (1 + cfg.DiurnalAmplitude*math.Sin(phase))
-		if g.rng.Float64() < cfg.BurstProb {
+		var coin float64
+		var mrng *rand.Rand
+		if cfg.Legacy {
+			coin = g.rng.Float64()
+			mrng = g.rng
+		} else {
+			coin = coinAt(cfg.Seed, minute)
+			mrng = rand.New(rand.NewSource(int64(subStream(cfg.Seed, saltMAFMinute, uint64(minute)))))
+		}
+		if coin < cfg.BurstProb {
 			rate *= cfg.BurstFactor
 		}
 		ratePerMS := rate / 1000
-		t := start + g.exp(ratePerMS)
+		t := start + mrng.ExpFloat64()/ratePerMS
 		for t < end {
-			svc := g.rng.Intn(len(g.models))
-			out = append(out, Arrival{Time: t, Service: svc, Input: g.randomInput(svc)})
-			t += g.exp(ratePerMS)
+			svc := mrng.Intn(len(g.models))
+			out = append(out, Arrival{Time: t, Service: svc, Input: randomInput(mrng, g.models, svc)})
+			t += mrng.ExpFloat64() / ratePerMS
 		}
+		minute++
 	}
 	return out
+}
+
+// Stream-family salts for the MAF derivation.
+const (
+	saltMAFMinute = 0x4d
+	saltMAFBurst  = 0xb5
+)
+
+// coinAt is minute m's burst coin: a uniform in [0, 1) from the dedicated
+// burst stream.
+func coinAt(seed int64, minute int) float64 {
+	return float64(subStream(seed, saltMAFBurst, uint64(minute))>>11) / (1 << 53)
+}
+
+// subStream derives an independent stream seed from a root seed and a salt
+// path by splitmix64 finalizer mixing (same construction as
+// workload.SubSeed; duplicated here because workload imports trace).
+func subStream(seed int64, salts ...uint64) uint64 {
+	x := mix64(uint64(seed) ^ 0xabcd_ef01_2345_6789)
+	for _, s := range salts {
+		x = mix64(x ^ (s+0x9e3779b97f4a7c15)*0xbf58476d1ce4e5b9)
+	}
+	return x
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }

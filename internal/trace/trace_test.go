@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -252,5 +253,120 @@ func TestStreamMatchesPoissonPrefix(t *testing.T) {
 	}
 	if a := next(); a.Time < 5_000 {
 		t.Errorf("arrival after the batch prefix at %v, want >= 5000", a.Time)
+	}
+}
+
+// TestMAFBurstKnobOrthogonal pins the stream split: the burst coin draws
+// from its own derived stream, so toggling BurstProb must leave every
+// non-burst minute's arrivals byte-identical.
+func TestMAFBurstKnobOrthogonal(t *testing.T) {
+	base := DefaultMAFConfig(100, 20*60_000, 6)
+	quiet := base
+	quiet.BurstProb = 0
+	bursty := NewGenerator(models(), 6).MAF(base)
+	calm := NewGenerator(models(), 6).MAF(quiet)
+
+	burstMinutes := map[int]bool{}
+	for m := 0; m < 20; m++ {
+		if coinAt(base.Seed, m) < base.BurstProb {
+			burstMinutes[m] = true
+		}
+	}
+	if len(burstMinutes) == 0 {
+		t.Skip("no burst minutes at this seed; pick another")
+	}
+	perMinute := func(arr []Arrival) map[int][]Arrival {
+		out := map[int][]Arrival{}
+		for _, a := range arr {
+			m := int(a.Time / 60_000)
+			out[m] = append(out[m], a)
+		}
+		return out
+	}
+	bm, cm := perMinute(bursty), perMinute(calm)
+	for m := 0; m < 20; m++ {
+		if burstMinutes[m] {
+			if len(bm[m]) <= len(cm[m]) {
+				t.Errorf("burst minute %d not denser: %d vs %d arrivals", m, len(bm[m]), len(cm[m]))
+			}
+			continue
+		}
+		if !reflect.DeepEqual(bm[m], cm[m]) {
+			t.Errorf("non-burst minute %d differs when only BurstProb changed", m)
+		}
+	}
+}
+
+// TestMAFPureFunction: the default layout never touches the generator's own
+// RNG, so MAF output is independent of what was drawn before it.
+func TestMAFPureFunction(t *testing.T) {
+	cfg := DefaultMAFConfig(80, 10*60_000, 11)
+	fresh := NewGenerator(models(), 11).MAF(cfg)
+	warmed := NewGenerator(models(), 11)
+	warmed.Poisson(50, 2_000) // consume some of the generator's stream
+	if !reflect.DeepEqual(fresh, warmed.MAF(cfg)) {
+		t.Fatal("MAF output depends on prior generator draws")
+	}
+	// And MAF leaves the generator stream untouched for later use.
+	a := NewGenerator(models(), 11)
+	a.MAF(cfg)
+	if !reflect.DeepEqual(a.Poisson(50, 2_000), NewGenerator(models(), 11).Poisson(50, 2_000)) {
+		t.Fatal("MAF consumed the generator's own RNG stream")
+	}
+}
+
+// TestMAFLegacyEntangled documents why Legacy exists: the old single-stream
+// layout entangles the burst coin with arrival draws.
+func TestMAFLegacyEntangled(t *testing.T) {
+	cfg := DefaultMAFConfig(100, 20*60_000, 6)
+	cfg.Legacy = true
+	quiet := cfg
+	quiet.BurstProb = 0
+	a := NewGenerator(models(), 6).MAF(cfg)
+	b := NewGenerator(models(), 6).MAF(quiet)
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("legacy traces identical despite different BurstProb; expected entanglement")
+	}
+	// Legacy stays deterministic.
+	if !reflect.DeepEqual(a, NewGenerator(models(), 6).MAF(cfg)) {
+		t.Fatal("legacy MAF not deterministic")
+	}
+}
+
+func TestSliceSourceAndCollect(t *testing.T) {
+	arr := NewGenerator(models(), 3).Poisson(50, 2_000)
+	got := Collect(NewSliceSource(arr), 0)
+	if !reflect.DeepEqual(got, arr) {
+		t.Fatal("SliceSource round trip differs")
+	}
+	if got := Collect(NewSliceSource(arr), 5); len(got) != 5 || !reflect.DeepEqual(got, arr[:5]) {
+		t.Fatal("Collect max bound broken")
+	}
+}
+
+func TestStreamSourceBounds(t *testing.T) {
+	g := NewGenerator(models(), 42)
+	src := StreamSource(g.Stream(80), 5_000)
+	got := Collect(src, 0)
+	want := NewGenerator(models(), 42).Poisson(80, 5_000)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("StreamSource-bounded stream differs from Poisson batch")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source yielded past its duration")
+	}
+}
+
+func TestCaptureSortsSnapshots(t *testing.T) {
+	c := NewCapture()
+	c.Record(Arrival{Time: 5, Service: 1})
+	c.Record(Arrival{Time: 2, Service: 0})
+	c.Record(Arrival{Time: 5, Service: 0}) // same time: recording order kept
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	snap := c.Snapshot()
+	if snap[0].Time != 2 || snap[1] != (Arrival{Time: 5, Service: 1}) || snap[2] != (Arrival{Time: 5, Service: 0}) {
+		t.Fatalf("snapshot order wrong: %+v", snap)
 	}
 }

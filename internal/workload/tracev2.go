@@ -1,0 +1,229 @@
+// tracev2 is the replayable arrival-trace file format. Unlike the bare CSV
+// in internal/trace, tracev2 carries a version line, provenance metadata
+// (workload name, seed, duration, service count) and a trailing FNV-64a
+// checksum over everything before it, so a replay can refuse corrupted or
+// truncated files and a round trip (generate → write → read → write) is
+// byte-identical. The body stays the same CSV schema as WriteCSV so rows are
+// greppable and hand-editable (at the cost of re-deriving the checksum with
+// abacus-workload).
+//
+// Layout:
+//
+//	#tracev2 v1
+//	#meta name=<urlencoded> seed=<int> duration_ms=<float> services=<int>
+//	time_ms,service,batch,seqlen
+//	12.5,0,8,0
+//	...
+//	#fnv64a=<16 hex digits>
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+
+	"abacus/internal/dnn"
+	"abacus/internal/trace"
+)
+
+const (
+	tracev2Magic = "#tracev2 v1"
+	tracev2Sum   = "#fnv64a="
+)
+
+// Meta is a trace file's provenance header.
+type Meta struct {
+	// Name labels the generating workload (or capture session).
+	Name string
+	// Seed is the generating seed (0 for live captures).
+	Seed int64
+	// DurationMS is the trace horizon; arrival times must fall inside it.
+	DurationMS float64
+	// Services is the deployment's service count; every row's service index
+	// must fall inside it.
+	Services int
+}
+
+// IsTraceV2 sniffs whether data starts with the tracev2 magic (for CLIs that
+// accept both tracev2 and legacy CSV).
+func IsTraceV2(data []byte) bool {
+	return strings.HasPrefix(strings.TrimPrefix(string(data), "\ufeff"), tracev2Magic)
+}
+
+// WriteTrace writes arrivals as a tracev2 file. Times are formatted
+// canonically (shortest round-trip float), which is what makes
+// write→read→write reproduce the file byte for byte.
+func WriteTrace(w io.Writer, meta Meta, arrivals []trace.Arrival) error {
+	if meta.Services <= 0 {
+		return fmt.Errorf("workload: tracev2 meta needs services > 0, got %d", meta.Services)
+	}
+	if !(meta.DurationMS > 0) {
+		return fmt.Errorf("workload: tracev2 meta needs duration_ms > 0, got %v", meta.DurationMS)
+	}
+	h := fnv.New64a()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	fmt.Fprintf(bw, "%s\n", tracev2Magic)
+	fmt.Fprintf(bw, "#meta name=%s seed=%d duration_ms=%s services=%d\n",
+		url.QueryEscape(meta.Name), meta.Seed,
+		strconv.FormatFloat(meta.DurationMS, 'f', -1, 64), meta.Services)
+	fmt.Fprintln(bw, "time_ms,service,batch,seqlen")
+	prev := 0.0
+	for i, a := range arrivals {
+		if a.Time < prev {
+			return fmt.Errorf("workload: tracev2 arrival %d goes back in time (%v after %v)", i, a.Time, prev)
+		}
+		if a.Time >= meta.DurationMS {
+			return fmt.Errorf("workload: tracev2 arrival %d at %v past duration %v", i, a.Time, meta.DurationMS)
+		}
+		if a.Service < 0 || a.Service >= meta.Services {
+			return fmt.Errorf("workload: tracev2 arrival %d service %d outside [0, %d)", i, a.Service, meta.Services)
+		}
+		prev = a.Time
+		fmt.Fprintf(bw, "%s,%d,%d,%d\n",
+			strconv.FormatFloat(a.Time, 'f', -1, 64), a.Service, a.Input.Batch, a.Input.SeqLen)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The checksum line covers every byte written above it (itself excluded).
+	_, err := fmt.Fprintf(w, "%s%016x\n", tracev2Sum, h.Sum64())
+	return err
+}
+
+// ReadTrace parses and verifies a tracev2 file: magic, metadata, checksum,
+// row sanity (sorted times inside the horizon, valid service indices).
+func ReadTrace(r io.Reader) (Meta, []trace.Arrival, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	src := string(data)
+	if !strings.HasPrefix(src, tracev2Magic+"\n") {
+		return Meta{}, nil, fmt.Errorf("workload: not a tracev2 file (missing %q line)", tracev2Magic)
+	}
+	sumAt := strings.LastIndex(src, tracev2Sum)
+	if sumAt < 0 {
+		return Meta{}, nil, fmt.Errorf("workload: tracev2 file has no %s checksum line (truncated?)", strings.TrimSuffix(tracev2Sum, "="))
+	}
+	sumLine := strings.TrimSpace(src[sumAt+len(tracev2Sum):])
+	want, err := strconv.ParseUint(sumLine, 16, 64)
+	if err != nil {
+		return Meta{}, nil, fmt.Errorf("workload: tracev2 checksum line malformed: %q", sumLine)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(src[:sumAt]))
+	if got := h.Sum64(); got != want {
+		return Meta{}, nil, fmt.Errorf("workload: tracev2 checksum mismatch: file says %016x, content hashes to %016x", want, got)
+	}
+
+	lines := strings.Split(strings.TrimRight(src[:sumAt], "\n"), "\n")
+	// lines[0] is the magic; next comes #meta, then the CSV header.
+	if len(lines) < 3 {
+		return Meta{}, nil, fmt.Errorf("workload: tracev2 file too short")
+	}
+	meta, err := parseMeta(lines[1])
+	if err != nil {
+		return Meta{}, nil, err
+	}
+	if lines[2] != "time_ms,service,batch,seqlen" {
+		return Meta{}, nil, fmt.Errorf("workload: tracev2 unexpected column header %q", lines[2])
+	}
+	arrivals := make([]trace.Arrival, 0, len(lines)-3)
+	prev := 0.0
+	for i, ln := range lines[3:] {
+		f := strings.Split(ln, ",")
+		if len(f) != 4 {
+			return Meta{}, nil, fmt.Errorf("workload: tracev2 row %d malformed: %q", i+1, ln)
+		}
+		t, err1 := strconv.ParseFloat(f[0], 64)
+		svc, err2 := strconv.Atoi(f[1])
+		batch, err3 := strconv.Atoi(f[2])
+		seq, err4 := strconv.Atoi(f[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return Meta{}, nil, fmt.Errorf("workload: tracev2 row %d malformed: %q", i+1, ln)
+		}
+		if t < prev {
+			return Meta{}, nil, fmt.Errorf("workload: tracev2 row %d goes back in time (%v after %v)", i+1, t, prev)
+		}
+		if t >= meta.DurationMS {
+			return Meta{}, nil, fmt.Errorf("workload: tracev2 row %d time %v past duration %v", i+1, t, meta.DurationMS)
+		}
+		if svc < 0 || svc >= meta.Services {
+			return Meta{}, nil, fmt.Errorf("workload: tracev2 row %d service %d outside [0, %d)", i+1, svc, meta.Services)
+		}
+		if batch < 1 {
+			return Meta{}, nil, fmt.Errorf("workload: tracev2 row %d batch %d invalid", i+1, batch)
+		}
+		prev = t
+		arrivals = append(arrivals, trace.Arrival{
+			Time: t, Service: svc, Input: dnn.Input{Batch: batch, SeqLen: seq},
+		})
+	}
+	return meta, arrivals, nil
+}
+
+func parseMeta(line string) (Meta, error) {
+	if !strings.HasPrefix(line, "#meta ") {
+		return Meta{}, fmt.Errorf("workload: tracev2 missing #meta line, got %q", line)
+	}
+	m := Meta{}
+	seen := map[string]bool{}
+	for _, kv := range strings.Fields(line[len("#meta "):]) {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Meta{}, fmt.Errorf("workload: tracev2 meta field %q is not key=value", kv)
+		}
+		if seen[k] {
+			return Meta{}, fmt.Errorf("workload: tracev2 meta repeats %q", k)
+		}
+		seen[k] = true
+		var err error
+		switch k {
+		case "name":
+			m.Name, err = url.QueryUnescape(v)
+		case "seed":
+			m.Seed, err = strconv.ParseInt(v, 10, 64)
+		case "duration_ms":
+			m.DurationMS, err = strconv.ParseFloat(v, 64)
+		case "services":
+			m.Services, err = strconv.Atoi(v)
+		default:
+			return Meta{}, fmt.Errorf("workload: tracev2 meta has unknown field %q", k)
+		}
+		if err != nil {
+			return Meta{}, fmt.Errorf("workload: tracev2 meta field %s: %w", k, err)
+		}
+	}
+	for _, k := range []string{"name", "seed", "duration_ms", "services"} {
+		if !seen[k] {
+			return Meta{}, fmt.Errorf("workload: tracev2 meta missing %q", k)
+		}
+	}
+	if m.Services <= 0 || !(m.DurationMS > 0) {
+		return Meta{}, fmt.Errorf("workload: tracev2 meta out of range (services=%d duration_ms=%v)", m.Services, m.DurationMS)
+	}
+	return m, nil
+}
+
+// CaptureMeta builds the Meta for persisting a live capture: duration is
+// rounded up past the last arrival so replays accept every row.
+func CaptureMeta(name string, services int, arrivals []trace.Arrival) Meta {
+	dur := 1.0
+	if n := len(arrivals); n > 0 {
+		last := arrivals[n-1].Time
+		if !sort.SliceIsSorted(arrivals, func(i, j int) bool { return arrivals[i].Time < arrivals[j].Time }) {
+			for _, a := range arrivals {
+				if a.Time > last {
+					last = a.Time
+				}
+			}
+		}
+		dur = last + 1
+	}
+	return Meta{Name: name, DurationMS: dur, Services: services}
+}

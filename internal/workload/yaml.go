@@ -1,0 +1,265 @@
+// A minimal YAML-subset reader for workload specs. The container ships no
+// YAML dependency, and specs only need a small, regular slice of the
+// language, so this hand-rolled parser accepts exactly that subset:
+//
+//   - mappings: `key: value` and `key:` with a nested block indented deeper
+//   - sequences: `- value` and `- key: value` opening an inline mapping whose
+//     further keys align under the first (dash counts as indentation)
+//   - scalars: numbers, true/false, null, double-/single-quoted and bare
+//     strings
+//   - `#` comments (full-line or trailing) and blank lines
+//
+// Anything outside the subset — anchors, flow style, multi-line scalars,
+// tabs — is rejected with a line number, not misread. The parsed tree is
+// plain map[string]any / []any / float64 / bool / string, which Parse then
+// re-marshals through encoding/json so both syntaxes share the same struct
+// tags and unknown-field checking.
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type yamlLine struct {
+	num    int // 1-based source line
+	indent int
+	text   string // content with indentation stripped
+}
+
+// parseYAML parses the subset into a JSON-shaped tree.
+func parseYAML(src string) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, fmt.Errorf("line %d: tabs are not allowed, indent with spaces", i+1)
+		}
+		text := stripComment(raw)
+		trimmed := strings.TrimLeft(text, " ")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		lines = append(lines, yamlLine{
+			num:    i + 1,
+			indent: len(text) - len(trimmed),
+			text:   strings.TrimRight(trimmed, " "),
+		})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("no content")
+	}
+	v, next, err := parseBlock(lines, 0, lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(lines) {
+		return nil, fmt.Errorf("line %d: unexpected de-indentation", lines[next].num)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment, respecting quoted strings.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if !inSingle && !inDouble {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseBlock parses the mapping or sequence starting at lines[i], whose
+// items sit at exactly the given indent. It returns the value and the index
+// of the first line past the block.
+func parseBlock(lines []yamlLine, i, indent int) (any, int, error) {
+	if strings.HasPrefix(lines[i].text, "- ") || lines[i].text == "-" {
+		return parseSequence(lines, i, indent)
+	}
+	return parseMapping(lines, i, indent)
+}
+
+func parseMapping(lines []yamlLine, i, indent int) (any, int, error) {
+	m := map[string]any{}
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("line %d: unexpected indentation", ln.num)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, 0, fmt.Errorf("line %d: sequence item inside a mapping", ln.num)
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, 0, fmt.Errorf("line %d: duplicate key %q", ln.num, key)
+		}
+		if rest != "" {
+			m[key] = parseScalar(rest)
+			i++
+			continue
+		}
+		// A key with no inline value introduces a nested block.
+		i++
+		if i >= len(lines) || lines[i].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, next, err := parseBlock(lines, i, lines[i].indent)
+		if err != nil {
+			return nil, 0, err
+		}
+		m[key] = v
+		i = next
+	}
+	return m, i, nil
+}
+
+func parseSequence(lines []yamlLine, i, indent int) (any, int, error) {
+	var seq []any
+	for i < len(lines) {
+		ln := lines[i]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, 0, fmt.Errorf("line %d: unexpected indentation", ln.num)
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, 0, fmt.Errorf("line %d: mapping key inside a sequence", ln.num)
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(ln.text, "-"), " ")
+		if rest == "" {
+			// `-` alone: the item is the nested block on the following lines.
+			i++
+			if i >= len(lines) || lines[i].indent <= indent {
+				return nil, 0, fmt.Errorf("line %d: empty sequence item", ln.num)
+			}
+			v, next, err := parseBlock(lines, i, lines[i].indent)
+			if err != nil {
+				return nil, 0, err
+			}
+			seq = append(seq, v)
+			i = next
+			continue
+		}
+		if key, val, err := splitKey(yamlLine{num: ln.num, text: rest}); err == nil {
+			// `- key: ...` opens an inline mapping; its remaining keys align
+			// under the first key (indent + 2, past the dash).
+			item := map[string]any{}
+			if val != "" {
+				item[key] = parseScalar(val)
+				i++
+			} else {
+				i++
+				if i < len(lines) && lines[i].indent > indent+2 {
+					v, next, perr := parseBlock(lines, i, lines[i].indent)
+					if perr != nil {
+						return nil, 0, perr
+					}
+					item[key] = v
+					i = next
+				} else {
+					item[key] = nil
+				}
+			}
+			if i < len(lines) && lines[i].indent == indent+2 {
+				more, next, err := parseMapping(lines, i, indent+2)
+				if err != nil {
+					return nil, 0, err
+				}
+				for k, v := range more.(map[string]any) {
+					if _, dup := item[k]; dup {
+						return nil, 0, fmt.Errorf("line %d: duplicate key %q", ln.num, k)
+					}
+					item[k] = v
+				}
+				i = next
+			}
+			seq = append(seq, item)
+			continue
+		}
+		seq = append(seq, parseScalar(rest))
+		i++
+	}
+	return seq, i, nil
+}
+
+// splitKey splits "key: value" (or "key:") at the first unquoted colon
+// followed by a space or end of line.
+func splitKey(ln yamlLine) (key, rest string, err error) {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(ln.text); i++ {
+		switch ln.text[i] {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ':':
+			if inSingle || inDouble {
+				continue
+			}
+			if i+1 == len(ln.text) {
+				return unquote(ln.text[:i]), "", nil
+			}
+			if ln.text[i+1] == ' ' {
+				return unquote(ln.text[:i]), strings.TrimSpace(ln.text[i+1:]), nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("line %d: expected `key: value`, got %q", ln.num, ln.text)
+}
+
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			if s[0] == '"' {
+				if u, err := strconv.Unquote(s); err == nil {
+					return u
+				}
+			}
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}
+
+func parseScalar(s string) any {
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		return unquote(s)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package abacus
+
+import (
+	"io"
+
+	"abacus/internal/trace"
+	"abacus/internal/workload"
+)
+
+// Declarative workload specs (see internal/workload). The facade re-exports
+// the spec compiler and the tracev2 persistence layer so embedders can turn
+// a JSON/YAML description of offered load — phased rates, heavy-tailed and
+// bursty inter-arrival processes, closed-loop client cohorts — into a
+// deterministic arrival schedule without importing internal packages:
+//
+//	spec, _ := abacus.ParseWorkload(data)
+//	c, _ := spec.Bind(models, 1)
+//	arrivals := c.Materialize() // replayable; byte-identical via tracev2
+type (
+	// WorkloadSpec is a declarative description of offered load.
+	WorkloadSpec = workload.Spec
+	// CompiledWorkload is a spec bound to a deployment and seed.
+	CompiledWorkload = workload.Compiled
+	// WorkloadMeta is the tracev2 header of a materialized workload.
+	WorkloadMeta = workload.Meta
+	// ThinkSpec shapes a closed-loop client's think-time distribution.
+	ThinkSpec = workload.ThinkSpec
+	// ArrivalCapture records a live gateway session for replay
+	// (GatewayConfig.Capture).
+	ArrivalCapture = trace.Capture
+	// Arrival is one query arrival: virtual time, service index, input.
+	Arrival = trace.Arrival
+)
+
+// ParseWorkload decodes and validates a workload spec from JSON or the YAML
+// subset (sniffed).
+func ParseWorkload(data []byte) (*WorkloadSpec, error) { return workload.Parse(data) }
+
+// NewArrivalCapture returns an empty live-session recorder.
+func NewArrivalCapture() *ArrivalCapture { return trace.NewCapture() }
+
+// WriteWorkloadTrace persists an arrival schedule as a checksummed tracev2
+// stream; ReadWorkloadTrace re-reads it byte-identically.
+func WriteWorkloadTrace(w io.Writer, meta WorkloadMeta, arrivals []Arrival) error {
+	return workload.WriteTrace(w, meta, arrivals)
+}
+
+// ReadWorkloadTrace reads and verifies a tracev2 stream.
+func ReadWorkloadTrace(r io.Reader) (WorkloadMeta, []Arrival, error) {
+	return workload.ReadTrace(r)
+}
+
+// IsWorkloadTrace reports whether data begins with the tracev2 magic.
+func IsWorkloadTrace(data []byte) bool { return workload.IsTraceV2(data) }
