@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check lint test test-short test-race bench bench-json bench-predict chaos trend workload ci
+.PHONY: all build vet fmt-check tidy-check lint test test-short test-race bench bench-json bench-predict bench-http chaos trend workload ci
 
 all: build
 
@@ -18,11 +18,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# On failure, prints the actual diff so a CI log is enough to fix the
+# formatting without reproducing locally.
 fmt-check:
 	@out=$$(gofmt -l .); \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt needed on:"; echo "$$out"; gofmt -d .; exit 1; \
 	fi
+
+# go.mod/go.sum must already be tidy; -diff prints what tidy would change
+# and exits nonzero instead of rewriting the files.
+tidy-check:
+	$(GO) mod tidy -diff
 
 # Uses a staticcheck binary from PATH when present (CI installs one);
 # otherwise falls back to `go run`, which needs network access, so lint is
@@ -59,16 +66,22 @@ bench-json:
 bench-predict:
 	$(GO) run ./cmd/abacus-predictbench -o BENCH_predict.json
 
+# HTTP ingest saturation benchmark: closed-loop ramp against an in-process
+# gateway; the artifact records peak sustained QPS at the goodput floor,
+# latency at peak, allocs/request, and the wire-codec component benchmarks.
+bench-http:
+	$(GO) run ./cmd/abacus-httpbench -o BENCH_http.json
+
 # Bench-trend check: rebuild both benchmark artifacts at TREND_BASE
 # (default origin/main) in a throwaway worktree, then diff against the
 # working tree's artifacts. Fails on a dropped scenario or benchmark, a
 # goodput drop, p99 growth, a per-service shed spike or admitted drop, or
 # hot-path allocs/op growth beyond the abacus-trend tolerances. The predict
-# gate only engages when the base ref has abacus-predictbench (so it is
-# skipped against pre-artifact history).
+# and http gates only engage when the base ref has the matching bench
+# command (so they are skipped against pre-artifact history).
 TREND_BASE ?= origin/main
 
-trend: bench-json bench-predict
+trend: bench-json bench-predict bench-http
 	@set -e; \
 	tmp=$$(mktemp -d); \
 	trap 'git worktree remove --force "$$tmp" 2>/dev/null || rm -rf "$$tmp"' EXIT; \
@@ -81,7 +94,13 @@ trend: bench-json bench-predict
 		mv "$$tmp/PREDICT_base.json" PREDICT_base.json; \
 		predict_flags="-predict-base PREDICT_base.json -predict-head BENCH_predict.json"; \
 	fi; \
-	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags
+	http_flags=""; \
+	if [ -d "$$tmp/cmd/abacus-httpbench" ]; then \
+		(cd "$$tmp" && $(GO) run ./cmd/abacus-httpbench -o HTTP_base.json >/dev/null); \
+		mv "$$tmp/HTTP_base.json" HTTP_base.json; \
+		http_flags="-http-base HTTP_base.json -http-head BENCH_http.json"; \
+	fi; \
+	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags $$http_flags
 
 # Run the built-in fault suite and hold the recovery scenarios to their QoS
 # floor (the throttle50 baseline intentionally fails it, so the floor is

@@ -11,12 +11,18 @@
 // artifacts (BENCH_predict.json, see abacus-predictbench): allocs/op is
 // deterministic and gated tightly, ns/op generously.
 //
+// With -http-base/-http-head it also diffs the HTTP ingest artifacts
+// (BENCH_http.json, see abacus-httpbench): allocs/request and the codec
+// component allocs/op are gated tightly; peak QPS and ns/op are wall-clock
+// figures gated generously, catching collapses rather than noise.
+//
 // Usage:
 //
 //	abacus-trend -base BENCH_base.json -head BENCH_gateway.json
 //	abacus-trend -base old.json -head new.json -max-goodput-drop 0.01 -max-p99-growth 0.2
 //	abacus-trend -base old.json -head new.json \
-//	    -predict-base PREDICT_base.json -predict-head BENCH_predict.json
+//	    -predict-base PREDICT_base.json -predict-head BENCH_predict.json \
+//	    -http-base HTTP_base.json -http-head BENCH_http.json
 package main
 
 import (
@@ -35,6 +41,10 @@ func main() {
 	headPath := flag.String("head", "BENCH_gateway.json", "candidate gateway artifact")
 	predictBase := flag.String("predict-base", "", "baseline prediction hot-path artifact (enables the predict gate)")
 	predictHead := flag.String("predict-head", "BENCH_predict.json", "candidate prediction hot-path artifact")
+	httpBase := flag.String("http-base", "", "baseline HTTP ingest artifact (enables the http gate)")
+	httpHead := flag.String("http-head", "BENCH_http.json", "candidate HTTP ingest artifact")
+	maxQPSDrop := flag.Float64("max-qps-drop", 0, "largest tolerated relative peak-QPS decrease in the http artifact (default 0.50)")
+	maxHTTPAllocsGrowth := flag.Float64("max-http-allocs-growth", 0, "largest tolerated relative allocs-per-request increase in the http artifact (default 0.10)")
 	maxGoodputDrop := flag.Float64("max-goodput-drop", 0, "largest tolerated absolute goodput decrease (default 0.005)")
 	maxP99Growth := flag.Float64("max-p99-growth", 0, "largest tolerated relative p99 increase (default 0.10)")
 	maxShedGrowth := flag.Float64("max-shed-growth", 0, "largest tolerated relative per-service degraded-shed increase (default 0.10)")
@@ -75,6 +85,17 @@ func main() {
 			len(pb.Benchmarks), len(ph.Benchmarks))
 	}
 
+	if *httpBase != "" {
+		hb := readHTTPArtifact(*httpBase)
+		hh := readHTTPArtifact(*httpHead)
+		issues = append(issues, chaos.CompareHTTPTrend(hb, hh, chaos.HTTPTrendOptions{
+			MaxQPSDrop:      *maxQPSDrop,
+			MaxAllocsGrowth: *maxHTTPAllocsGrowth,
+		})...)
+		fmt.Printf("compared http ingest: base peak %.0f qps / %.1f allocs/req, head peak %.0f qps / %.1f allocs/req\n",
+			hb.PeakQPS, hb.AllocsPerRequest, hh.PeakQPS, hh.AllocsPerRequest)
+	}
+
 	if len(issues) == 0 {
 		fmt.Println("trend clean: no regressions")
 		return
@@ -103,6 +124,18 @@ func readPredictArtifact(path string) chaos.PredictArtifact {
 		fail(err)
 	}
 	a, err := chaos.ParsePredictArtifact(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return a
+}
+
+func readHTTPArtifact(path string) chaos.HTTPArtifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	a, err := chaos.ParseHTTPArtifact(data)
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}

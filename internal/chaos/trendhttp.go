@@ -1,0 +1,145 @@
+// HTTP ingest benchmark artifact (BENCH_http.json) and its trend rules: the
+// saturation driver (cmd/abacus-httpbench) ramps closed-loop load against an
+// in-process gateway and records peak sustained QPS at a goodput floor,
+// latency at peak, allocations per request, and the component benchmarks of
+// the wire codec. Allocation counts are deterministic and gated tightly;
+// QPS and ns/op are wall-clock figures on shared CI runners and get
+// generous tolerances — allocs/request is the reliable tripwire, peak QPS
+// the catastrophic-regression backstop.
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// HTTPStep is one rung of the saturation ramp: offered concurrency, the
+// throughput it sustained, and the goodput delivered there.
+type HTTPStep struct {
+	Concurrency int     `json:"concurrency"`
+	QPS         float64 `json:"qps"`
+	Goodput     float64 `json:"goodput"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+// HTTPBench is one component benchmark of the ingest path (decode, encode,
+// full hot path), in testing.Benchmark units.
+type HTTPBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// HTTPArtifact is the BENCH_http.json shape: the saturation result plus the
+// codec component benchmarks, uploaded by the bench lane next to
+// BENCH_gateway.json and BENCH_predict.json.
+type HTTPArtifact struct {
+	// WallSeconds is wall-clock and ignored by trend comparison.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// GoodputFloor is the goodput a step must deliver for its QPS to count
+	// as sustained.
+	GoodputFloor float64 `json:"goodput_floor"`
+	// PeakQPS is the highest sustained throughput across the ramp.
+	PeakQPS float64 `json:"peak_qps"`
+	// PeakConcurrency is the ramp step that delivered PeakQPS.
+	PeakConcurrency int `json:"peak_concurrency"`
+	// P50MS/P99MS are the latency percentiles at the peak step (virtual ms).
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// AllocsPerRequest is the end-to-end allocation cost of one /v1/infer
+	// request at the peak step (runtime.MemStats mallocs delta per request).
+	AllocsPerRequest float64     `json:"allocs_per_request"`
+	Steps            []HTTPStep  `json:"steps"`
+	Benchmarks       []HTTPBench `json:"benchmarks"`
+}
+
+// ParseHTTPArtifact decodes an HTTP ingest benchmark artifact.
+func ParseHTTPArtifact(data []byte) (HTTPArtifact, error) {
+	var a HTTPArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return HTTPArtifact{}, fmt.Errorf("chaos: parsing http artifact: %w", err)
+	}
+	if a.PeakQPS <= 0 {
+		return HTTPArtifact{}, fmt.Errorf("chaos: http artifact has no peak QPS")
+	}
+	return a, nil
+}
+
+// HTTPTrendOptions sets the ingest regression tolerances. The zero value
+// takes the defaults.
+type HTTPTrendOptions struct {
+	// MaxQPSDrop is the largest tolerated relative peak-QPS decrease
+	// (default 0.50 = 50%, generous because throughput on shared CI runners
+	// swings widely — this gate catches collapses, not noise).
+	MaxQPSDrop float64
+	// MaxAllocsGrowth is the largest tolerated relative allocs-per-request
+	// increase (default 0.10).
+	MaxAllocsGrowth float64
+	// AllocSlack is the absolute allocs-per-request allowance on top of
+	// MaxAllocsGrowth, so near-zero baselines do not flag on +1 (default 2).
+	AllocSlack float64
+	// MaxNsGrowth is the largest tolerated relative ns/op increase on the
+	// component benchmarks (default 0.50).
+	MaxNsGrowth float64
+}
+
+func (o HTTPTrendOptions) withDefaults() HTTPTrendOptions {
+	if o.MaxQPSDrop <= 0 {
+		o.MaxQPSDrop = 0.50
+	}
+	if o.MaxAllocsGrowth <= 0 {
+		o.MaxAllocsGrowth = 0.10
+	}
+	if o.AllocSlack <= 0 {
+		o.AllocSlack = 2
+	}
+	if o.MaxNsGrowth <= 0 {
+		o.MaxNsGrowth = 0.50
+	}
+	return o
+}
+
+// CompareHTTPTrend diffs two ingest artifacts: a peak-QPS collapse beyond
+// MaxQPSDrop, allocs-per-request growth beyond the (tight) tolerance, and
+// per-benchmark allocs/op and ns/op growth on the codec components. Issues
+// come back in a deterministic order (headline metrics, then base benchmark
+// order).
+func CompareHTTPTrend(base, head HTTPArtifact, opts HTTPTrendOptions) []TrendIssue {
+	opts = opts.withDefaults()
+	var issues []TrendIssue
+	if base.PeakQPS > 0 && (base.PeakQPS-head.PeakQPS)/base.PeakQPS > opts.MaxQPSDrop {
+		issues = append(issues, TrendIssue{
+			Scenario: "http", Metric: "peak_qps", Base: base.PeakQPS, Head: head.PeakQPS,
+		})
+	}
+	if head.AllocsPerRequest > base.AllocsPerRequest*(1+opts.MaxAllocsGrowth)+opts.AllocSlack {
+		issues = append(issues, TrendIssue{
+			Scenario: "http", Metric: "allocs_per_request",
+			Base: base.AllocsPerRequest, Head: head.AllocsPerRequest,
+		})
+	}
+	byName := make(map[string]HTTPBench, len(head.Benchmarks))
+	for _, b := range head.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range base.Benchmarks {
+		h, ok := byName[b.Name]
+		if !ok {
+			issues = append(issues, TrendIssue{Scenario: b.Name, Metric: "missing"})
+			continue
+		}
+		if h.AllocsPerOp > b.AllocsPerOp*(1+opts.MaxAllocsGrowth)+opts.AllocSlack {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "allocs_per_op", Base: b.AllocsPerOp, Head: h.AllocsPerOp,
+			})
+		}
+		if b.NsPerOp > 0 && (h.NsPerOp-b.NsPerOp)/b.NsPerOp > opts.MaxNsGrowth {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "ns_per_op", Base: b.NsPerOp, Head: h.NsPerOp,
+			})
+		}
+	}
+	return issues
+}

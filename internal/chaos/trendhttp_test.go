@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func httpBase() HTTPArtifact {
+	return HTTPArtifact{
+		GoodputFloor:     0.95,
+		PeakQPS:          50000,
+		PeakConcurrency:  16,
+		P50MS:            0.8,
+		P99MS:            2.4,
+		AllocsPerRequest: 20,
+		Steps: []HTTPStep{
+			{Concurrency: 8, QPS: 40000, Goodput: 1},
+			{Concurrency: 16, QPS: 50000, Goodput: 0.99},
+		},
+		Benchmarks: []HTTPBench{
+			{Name: "InferDecode", NsPerOp: 300, AllocsPerOp: 0},
+			{Name: "InferHotPath", NsPerOp: 1500, AllocsPerOp: 0},
+		},
+	}
+}
+
+func TestCompareHTTPTrendClean(t *testing.T) {
+	base := httpBase()
+	head := httpBase()
+	// Noise-sized wobble must pass: QPS down 30%, ns/op up 40%, +1 alloc.
+	head.PeakQPS = 35000
+	head.AllocsPerRequest = 21
+	head.Benchmarks[0].NsPerOp = 420
+	if issues := CompareHTTPTrend(base, head, HTTPTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+}
+
+func TestCompareHTTPTrendRegressions(t *testing.T) {
+	base := httpBase()
+	head := httpBase()
+	head.PeakQPS = 20000                  // -60%: collapse
+	head.AllocsPerRequest = 40            // ×2: alloc regression
+	head.Benchmarks[0].AllocsPerOp = 10   // codec allocates again
+	head.Benchmarks = head.Benchmarks[:1] // hot-path benchmark dropped
+	issues := CompareHTTPTrend(base, head, HTTPTrendOptions{})
+	want := map[string]bool{
+		"http/peak_qps":             false,
+		"http/allocs_per_request":   false,
+		"InferDecode/allocs_per_op": false,
+		"InferHotPath/missing":      false,
+	}
+	for _, i := range issues {
+		key := i.Scenario + "/" + i.Metric
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected issue %v", i)
+			continue
+		}
+		want[key] = true
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("missing expected issue %s", key)
+		}
+	}
+}
+
+func TestParseHTTPArtifactRoundTrip(t *testing.T) {
+	data, err := json.Marshal(httpBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ParseHTTPArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakQPS != 50000 || len(a.Benchmarks) != 2 || len(a.Steps) != 2 {
+		t.Fatalf("round trip mangled artifact: %+v", a)
+	}
+	if _, err := ParseHTTPArtifact([]byte(`{}`)); err == nil {
+		t.Fatal("empty artifact should be rejected")
+	}
+	if _, err := ParseHTTPArtifact([]byte(`not json`)); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}

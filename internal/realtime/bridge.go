@@ -50,6 +50,11 @@ type Bridge struct {
 	// zero means the loop stamps time.Now when it starts.
 	epoch time.Time
 
+	// wallStart/virtStart anchor the pacing computation. Written once when
+	// the loop starts, then read only on the loop goroutine (CatchUp).
+	wallStart time.Time
+	virtStart sim.Time
+
 	// now mirrors the engine clock for cheap cross-goroutine reads.
 	now atomic.Uint64
 }
@@ -140,6 +145,27 @@ func (b *Bridge) Do(fn func()) error {
 	}
 }
 
+// CatchUp advances the engine to the wall-derived pacing target (everything
+// due by this instant fires), or drains it entirely when unpaced. It must
+// only be called from inside a Do callback — it touches the engine. Batch
+// consumers call it between entries so each decision observes the virtual
+// time it would have seen had it been injected alone, keeping batched
+// admission equivalent to one injection per query.
+func (b *Bridge) CatchUp() {
+	if b.unpaced {
+		b.eng.Run()
+	} else if t := b.target(); t > b.eng.Now() {
+		b.eng.RunUntil(t)
+	}
+	b.now.Store(math.Float64bits(b.eng.Now()))
+}
+
+// target is the pacing target: the virtual instant corresponding to now on
+// the wall clock. Loop goroutine only.
+func (b *Bridge) target() sim.Time {
+	return b.virtStart + b.speedup*float64(time.Since(b.wallStart))/float64(time.Millisecond)
+}
+
 // Flush fast-forwards the engine until its event queue is empty, ignoring
 // pacing — in-flight work completes immediately in virtual time. It is the
 // graceful-drain primitive: pending queries are answered without waiting
@@ -153,24 +179,13 @@ func (b *Bridge) Flush() error {
 // injected.
 func (b *Bridge) loop() {
 	defer close(b.stopped)
-	wallStart := b.epoch
-	if wallStart.IsZero() {
-		wallStart = time.Now()
+	b.wallStart = b.epoch
+	if b.wallStart.IsZero() {
+		b.wallStart = time.Now()
 	}
-	virtStart := b.eng.Now()
-	target := func() sim.Time {
-		return virtStart + b.speedup*float64(time.Since(wallStart))/float64(time.Millisecond)
-	}
-	advance := func() {
-		if b.unpaced {
-			b.eng.Run()
-		} else if t := target(); t > b.eng.Now() {
-			b.eng.RunUntil(t)
-		}
-		b.now.Store(math.Float64bits(b.eng.Now()))
-	}
+	b.virtStart = b.eng.Now()
 	for {
-		advance()
+		b.CatchUp()
 
 		var timer *time.Timer
 		var timerC <-chan time.Time
@@ -191,8 +206,22 @@ func (b *Bridge) loop() {
 		case fn := <-b.cmds:
 			// Catch the clock up to the injection's wall instant so fn sees
 			// the virtual time at which the external work actually occurred.
-			advance()
+			b.CatchUp()
 			fn()
+			// Greedily serve commands already queued behind this one before
+			// recomputing pacing timers: under a burst of injections one loop
+			// wakeup handles the whole burst, and each command still gets the
+			// same advance-then-run treatment it would have gotten alone.
+		drain:
+			for {
+				select {
+				case fn := <-b.cmds:
+					b.CatchUp()
+					fn()
+				default:
+					break drain
+				}
+			}
 		case <-timerC:
 		case <-b.stop:
 			if timer != nil {

@@ -6,12 +6,44 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
+
+// DecodeError marks a response that arrived intact over the network but did
+// not decode as an InferResponse: the body was read to EOF first, so this is
+// a protocol fault, never a transport one. Keeping the two distinct matters
+// with pooled read buffers — a short read surfaces as the read error itself
+// and is counted once as a network error, instead of the stale buffer tail
+// also failing to parse and double-counting as malformed.
+type DecodeError struct {
+	Status int   // HTTP status of the undecodable response
+	Err    error // the underlying unmarshal failure
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("decoding /v1/infer response (HTTP %d): %v", e.Status, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// IsDecodeError reports whether err (or anything it wraps) is a DecodeError.
+func IsDecodeError(err error) bool {
+	var de *DecodeError
+	return errors.As(err, &de)
+}
+
+// respBufPool holds response-body read buffers for inferHeaders; bodies are
+// small JSON objects, so one warm buffer per concurrent caller suffices.
+var respBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
 
 // Client talks to one gateway.
 type Client struct {
@@ -55,9 +87,20 @@ func (c *Client) inferHeaders(ctx context.Context, req InferRequest) (*InferResp
 		return nil, 0, nil, err
 	}
 	defer hres.Body.Close()
+	// Read the whole body before decoding. A failed or short read is a
+	// network error and is returned as such without touching the decoder:
+	// the pooled buffer may hold a truncated or stale prefix, and parsing it
+	// would misreport a transport fault as a malformed response.
+	bp := respBufPool.Get().(*[]byte)
+	buf, err := readAll(hres.Body, (*bp)[:0])
+	*bp = buf[:0]
+	defer respBufPool.Put(bp)
+	if err != nil {
+		return nil, hres.StatusCode, hres.Header, fmt.Errorf("reading /v1/infer response: %w", err)
+	}
 	var out InferResponse
-	if err := json.NewDecoder(hres.Body).Decode(&out); err != nil {
-		return nil, hres.StatusCode, hres.Header, fmt.Errorf("decoding /v1/infer response: %w", err)
+	if err := json.Unmarshal(buf, &out); err != nil {
+		return nil, hres.StatusCode, hres.Header, &DecodeError{Status: hres.StatusCode, Err: err}
 	}
 	return &out, hres.StatusCode, hres.Header, nil
 }

@@ -1,0 +1,106 @@
+// Pins the decode-error/network-error split introduced with the pooled
+// client read buffers: a response that arrives intact but fails to parse is
+// a DecodeError (counted once, as a protocol fault), while a short read of a
+// reused buffer is surfaced as the read error itself and never also counted
+// as malformed — the double-count the pooled path must not reintroduce.
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/trace"
+)
+
+// faultyGateway answers every /v1/infer with mode "garbage" (complete but
+// undecodable body) or "short" (Content-Length promises more bytes than are
+// sent, so the client's read fails partway).
+func faultyGateway(t *testing.T, mode string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode {
+		case "garbage":
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"model": <<not json>>`))
+		case "short":
+			w.Header().Set("Content-Length", strconv.Itoa(400))
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte(`{"model":"Res50","ba`))
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			// Returning with 380 promised bytes unsent makes net/http sever
+			// the connection; the client sees an unexpected EOF mid-body.
+		default:
+			t.Fatalf("unknown mode %q", mode)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientDecodeErrorDistinctFromShortRead(t *testing.T) {
+	garbage := NewClient(faultyGateway(t, "garbage").URL, nil)
+	_, status, err := garbage.Infer(context.Background(), InferRequest{Model: "Res50", Batch: 1})
+	if !IsDecodeError(err) {
+		t.Fatalf("garbage body: want DecodeError, got %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("garbage body: DecodeError should carry the HTTP status, got %d", status)
+	}
+
+	short := NewClient(faultyGateway(t, "short").URL, nil)
+	_, _, err = short.Infer(context.Background(), InferRequest{Model: "Res50", Batch: 1})
+	if err == nil {
+		t.Fatal("short read: want an error")
+	}
+	if IsDecodeError(err) {
+		t.Fatalf("short read misclassified as DecodeError (double-count risk): %v", err)
+	}
+}
+
+func TestRetrierCountsDecodeErrorsPerAttempt(t *testing.T) {
+	c := NewClient(faultyGateway(t, "garbage").URL, nil)
+	r := NewRetrier(RetryPolicy{MaxAttempts: 3, BaseBackoff: 1, MaxBackoff: 1})
+	_, _, st, err := r.InferRetry(context.Background(), c, InferRequest{Model: "Res50", Batch: 1})
+	if !IsDecodeError(err) {
+		t.Fatalf("want DecodeError after exhausted retries, got %v", err)
+	}
+	if st.Attempts != 3 || st.DecodeErrors != 3 {
+		t.Fatalf("want 3 attempts / 3 decode errors, got %+v", st)
+	}
+}
+
+func TestLoadgenClassifiesDecodeAndNetworkErrorsSeparately(t *testing.T) {
+	arrivals := []trace.Arrival{{Time: 0, Service: 0, Input: dnn.Input{Batch: 1}}}
+	for _, tc := range []struct {
+		mode                string
+		wantDecode, wantNet int
+	}{
+		{"garbage", 1, 0},
+		{"short", 0, 1},
+	} {
+		c := NewClient(faultyGateway(t, tc.mode).URL, nil)
+		res, err := RunLoad(context.Background(), LoadConfig{
+			Client:   c,
+			Models:   []dnn.ModelID{dnn.ResNet50},
+			Arrivals: arrivals,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tot := res.Total
+		if tot.DecodeErrors != tc.wantDecode || tot.Errors != tc.wantNet {
+			t.Errorf("%s: decode=%d net=%d, want decode=%d net=%d (no double-count)",
+				tc.mode, tot.DecodeErrors, tot.Errors, tc.wantDecode, tc.wantNet)
+		}
+		if tot.Sent != 1 {
+			t.Errorf("%s: sent %d, want 1", tc.mode, tot.Sent)
+		}
+	}
+}

@@ -71,7 +71,8 @@ type LoadStats struct {
 	RejectedQueue    int // 429, per-service queue bound
 	RejectedDegraded int // 429, shed by the degraded-mode margin
 	Unavailable      int // 503, draining or stopped
-	Errors           int // transport / protocol failures
+	Errors           int // transport failures (request or response lost on the wire)
+	DecodeErrors     int // responses that arrived but failed to decode (exclusive with Errors)
 	Retries          int // extra attempts sent by the retry layer
 	Duplicates       int // responses served from the gateway's idempotency cache
 
@@ -250,6 +251,12 @@ func (c *collector) record(service int, resp *InferResponse, status int, err err
 		s.Duplicates++
 	}
 	switch {
+	case IsDecodeError(err):
+		// A response arrived but would not parse: a protocol fault, counted
+		// once here and never also as a transport error (with pooled read
+		// buffers, a short read is surfaced as the read error before any
+		// decode is attempted, so the two classes cannot overlap).
+		s.DecodeErrors++
 	case err != nil:
 		s.Errors++
 	case status == 200:
@@ -299,6 +306,7 @@ func (c *collector) result() *LoadResult {
 		t.RejectedDegraded += s.RejectedDegraded
 		t.Unavailable += s.Unavailable
 		t.Errors += s.Errors
+		t.DecodeErrors += s.DecodeErrors
 		t.Retries += s.Retries
 		t.Duplicates += s.Duplicates
 		t.lats = append(t.lats, s.lats...)

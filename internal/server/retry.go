@@ -78,6 +78,10 @@ type RetryStats struct {
 	// RetryAfterHonored counts sleeps taken from a 429's Retry-After header
 	// instead of the exponential schedule.
 	RetryAfterHonored int
+	// DecodeErrors counts attempts whose response arrived but failed to
+	// decode (server.DecodeError) — protocol faults, distinct from the
+	// transport errors that merely lost the response on the wire.
+	DecodeErrors int
 }
 
 // Retrier executes requests under a RetryPolicy. It is safe for concurrent
@@ -204,6 +208,9 @@ func (r *Retrier) InferRetry(ctx context.Context, c *Client, req InferRequest) (
 		resp, status, hdr, lastErr = c.inferHeaders(attemptCtx, req)
 		cancel()
 		st.Attempts++
+		if IsDecodeError(lastErr) {
+			st.DecodeErrors++
+		}
 		if lastErr == nil && !retriable(status, nil) {
 			st.Retries = st.Attempts - 1
 			return resp, status, st, nil

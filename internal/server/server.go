@@ -29,6 +29,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -117,6 +118,13 @@ type Config struct {
 	// the owning node's loop goroutine at admission time, so captured times
 	// are the exact virtual instants admission reasoned about.
 	Capture *trace.Capture
+	// StatShards is how many mutexes guard the per-service outcome counters
+	// (service i hashes to shard i mod StatShards). The default (0) gives
+	// every service its own shard, so two services' handlers never contend
+	// on a stats lock; 1 recovers the single global lock. Counter values are
+	// identical at any shard count — only contention changes — which the
+	// shard-determinism suite pins byte-for-byte over /statz.
+	StatShards int
 }
 
 // hostRef locates one replica of a service: the hosting node and the
@@ -133,14 +141,15 @@ const probeEvery = 16
 // Server is the gateway. Construct with New, then Start before serving its
 // Handler; Drain (or Shutdown) ends its life cycle.
 type Server struct {
-	cfg     Config
-	nodes   []*node
-	hosts   [][]hostRef    // global service index → hosting nodes
-	qos     []float64      // global service index → QoS target (ms)
-	probes  []atomic.Int64 // global service index → routing decisions, drives quarantine probes
-	byName  map[string]int // model name → global service index
-	mux     *http.ServeMux
-	httpSrv atomic.Pointer[http.Server]
+	cfg       Config
+	nodes     []*node
+	hosts     [][]hostRef    // global service index → hosting nodes
+	qos       []float64      // global service index → QoS target (ms)
+	probes    []atomic.Int64 // global service index → routing decisions, drives quarantine probes
+	byName    map[string]int // model name → global service index
+	modelName []string       // global service index → canonical name (response echo without alloc)
+	mux       *http.ServeMux
+	httpSrv   atomic.Pointer[http.Server]
 
 	// routes pins a RequestID to the node that first accepted it (value:
 	// node id), so retries land where the idempotency caches live. Entries
@@ -154,8 +163,17 @@ type Server struct {
 	malformed   atomic.Int64
 	retriesSeen atomic.Int64
 
-	mu  sync.Mutex
-	svc []*svcStats
+	// Per-service outcome counters behind sharded locks: service i is
+	// guarded by statMu[i%len(statMu)]. With the default one-shard-per-
+	// service layout, concurrent handlers for different services never
+	// serialize on stats accounting; shard count 1 is the old global lock.
+	statMu []sync.Mutex
+	svc    []*svcStats
+}
+
+// statLock returns the mutex shard guarding service svc's counters.
+func (s *Server) statLock(svc int) *sync.Mutex {
+	return &s.statMu[svc%len(s.statMu)]
 }
 
 // pending is one admitted query awaiting completion: done closes after the
@@ -314,14 +332,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PredictCache == 0 {
 		cfg.PredictCache = 4096
 	}
+	if cfg.StatShards <= 0 {
+		cfg.StatShards = len(cfg.Models)
+	}
 
 	s := &Server{cfg: cfg, byName: make(map[string]int)}
+	s.statMu = make([]sync.Mutex, cfg.StatShards)
 	for i, m := range cfg.Models {
 		name := m.String()
 		if _, dup := s.byName[name]; dup {
 			return nil, fmt.Errorf("server: model %s deployed twice", name)
 		}
 		s.byName[name] = i
+		s.modelName = append(s.modelName, name)
 		s.svc = append(s.svc, &svcStats{})
 	}
 
@@ -384,12 +407,13 @@ func (s *Server) NumNodes() int { return len(s.nodes) }
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Start launches every node's wall-clock bridge, all anchored to one epoch
-// so the per-GPU virtual clocks share a wall origin. Call once, before
-// serving traffic.
+// so the per-GPU virtual clocks share a wall origin, plus each node's
+// admission combiner. Call once, before serving traffic.
 func (s *Server) Start() {
 	epoch := time.Now()
 	for _, n := range s.nodes {
 		n.bridge.StartAnchored(epoch)
+		go n.admitLoop(s)
 	}
 }
 
@@ -409,6 +433,11 @@ func (s *Server) Drain() {
 	for _, n := range s.nodes {
 		_ = n.bridge.Flush()
 		n.bridge.Stop()
+	}
+	// With the bridges stopped no admission can succeed; shut the mailboxes
+	// so queued and future enqueues answer as draining and admitLoop exits.
+	for _, n := range s.nodes {
+		n.stopMailbox()
 	}
 }
 
@@ -479,8 +508,10 @@ func (s *Server) onResult(n *node, q *sched.Query) {
 	}
 	n.publish()
 
-	s.mu.Lock()
-	st := s.svc[n.global[local]]
+	g := n.global[local]
+	mu := s.statLock(g)
+	mu.Lock()
+	st := s.svc[g]
 	if q.Dropped {
 		st.dropped++
 		st.violated++
@@ -495,7 +526,7 @@ func (s *Server) onResult(n *node, q *sched.Query) {
 			st.good++
 		}
 	}
-	s.mu.Unlock()
+	mu.Unlock()
 
 	close(p.done)
 }
@@ -506,9 +537,24 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// contentTypeJSON is the shared Content-Type header value for the ingest
+// path: assigning a preallocated slice into the header map costs nothing,
+// where Header().Set would allocate the []string box per request.
+var contentTypeJSON = []string{"application/json"}
+
+// writeInfer renders resp through the pooled encoder scratch and writes it —
+// the allocation-free replacement for writeJSON on the /v1/infer path.
+// Output bytes are identical to json.NewEncoder(w).Encode(resp).
+func writeInfer(w http.ResponseWriter, sc *inferScratch, code int, resp *InferResponse) {
+	sc.out = AppendInferResponse(sc.out[:0], resp)
+	w.Header()["Content-Type"] = contentTypeJSON
+	w.WriteHeader(code)
+	_, _ = w.Write(sc.out)
+}
+
 // respondFinished renders a finished (or dropped) pending into resp and
-// writes it.
-func (s *Server) respondFinished(w http.ResponseWriter, resp InferResponse, p *pending) {
+// writes it through the pooled encoder.
+func (s *Server) respondFinished(w http.ResponseWriter, sc *inferScratch, resp *InferResponse, p *pending) {
 	q := p.q
 	resp.Accepted = true
 	resp.ArrivalMS = q.Arrival
@@ -518,12 +564,12 @@ func (s *Server) respondFinished(w http.ResponseWriter, resp InferResponse, p *p
 	if q.Dropped {
 		resp.Dropped = true
 		resp.Reason = "dropped"
-		writeJSON(w, http.StatusGatewayTimeout, resp)
+		writeInfer(w, sc, http.StatusGatewayTimeout, resp)
 		return
 	}
 	resp.LatencyMS = q.Latency()
 	resp.Violated = q.Violated()
-	writeJSON(w, http.StatusOK, resp)
+	writeInfer(w, sc, http.StatusOK, resp)
 }
 
 // localOn returns the node-local service index of global service svc on
@@ -579,45 +625,67 @@ func (s *Server) route(svc int, requestID string) (n *node, local int, migrated 
 	return s.nodes[r.node], r.local, migrated
 }
 
-// handleInfer routes, admits, submits, and answers one query.
+// handleInfer routes, admits, submits, and answers one query. The whole
+// path runs on pooled scratch: the body lands in a reused buffer, the
+// hand-rolled decoder returns views into it, and the response renders into
+// a reused encode buffer — zero steady-state allocations for decode,
+// validate, admission verdict, and encode (TestInferHotPathZeroAllocs).
+// Admission itself flows through the node's mailbox (node.admitLoop), so
+// while one batch is deciding on the loop goroutine, other handlers decode
+// and encode concurrently — the decode → admit → encode pipeline.
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, InferResponse{Error: "POST required"})
 		return
 	}
-	var req InferRequest
+	sc := getScratch()
+	defer putScratch(sc)
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.malformed.Add(1)
-		writeJSON(w, http.StatusBadRequest, InferResponse{Error: "bad JSON: " + err.Error()})
-		return
+	var err error
+	if sc.body, err = readAll(body, sc.body[:0]); err == nil {
+		err = sc.req.Parse(sc.body)
 	}
-	svcIdx, in, err := s.validate(&req)
 	if err != nil {
 		s.malformed.Add(1)
-		writeJSON(w, http.StatusBadRequest, InferResponse{
-			Model: req.Model, Batch: req.Batch, SeqLen: req.SeqLen, Error: err.Error(),
-		})
+		resp := InferResponse{Error: "bad JSON: " + err.Error()}
+		writeInfer(w, sc, http.StatusBadRequest, &resp)
+		return
+	}
+	req := &sc.req
+	svcIdx, in, err := s.validate(req)
+	if err != nil {
+		s.malformed.Add(1)
+		resp := InferResponse{
+			Model: string(req.Model), Batch: req.Batch, SeqLen: req.SeqLen, Error: err.Error(),
+		}
+		writeInfer(w, sc, http.StatusBadRequest, &resp)
 		return
 	}
 	if req.Attempt > 0 {
 		s.retriesSeen.Add(1)
 	}
-	resp := InferResponse{Model: req.Model, Batch: req.Batch, SeqLen: req.SeqLen}
+	// The canonical name equals the client's (validation is an exact match),
+	// so echoing it avoids materializing the decoded view. The request ID is
+	// copied out once: it outlives the scratch in routes/byID/recent.
+	resp := InferResponse{Model: s.modelName[svcIdx], Batch: req.Batch, SeqLen: req.SeqLen}
+	requestID := ""
+	if len(req.RequestID) > 0 {
+		requestID = string(req.RequestID)
+	}
 	if s.draining.Load() {
 		s.countReject(svcIdx, reasonDraining)
 		resp.Reason = reasonDraining
 		resp.Error = "draining"
-		writeJSON(w, http.StatusServiceUnavailable, resp)
+		writeInfer(w, sc, http.StatusServiceUnavailable, &resp)
 		return
 	}
 
-	n, local, migrated := s.route(svcIdx, req.RequestID)
+	n, local, migrated := s.route(svcIdx, requestID)
 	storedRoute := false
-	if req.RequestID != "" {
+	if requestID != "" {
 		// Pin the ID to one node before admission so concurrent duplicates
 		// serialize on a single loop, where byID/recent can suppress them.
-		if v, loaded := s.routes.LoadOrStore(req.RequestID, n.id); !loaded {
+		if v, loaded := s.routes.LoadOrStore(requestID, n.id); !loaded {
 			storedRoute = true
 		} else if owner := v.(int); owner != n.id {
 			if l, hosts := s.localOn(svcIdx, owner); hosts {
@@ -626,65 +694,34 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	var d admit.Decision
-	var pend, dup, cached *pending
-	err = n.bridge.Do(func() {
-		if s.draining.Load() {
-			d = admit.Decision{Reason: reasonDraining}
-			return
-		}
-		if req.RequestID != "" {
-			if p, ok := n.byID[req.RequestID]; ok {
-				dup = p
-				n.duplicates++
-				return
-			}
-			if p, ok := n.recent.get(req.RequestID); ok {
-				cached = p
-				n.duplicates++
-				return
-			}
-		}
-		now := n.rt.Engine().Now()
-		if s.cfg.Capture != nil {
-			s.cfg.Capture.Record(trace.Arrival{Time: float64(now), Service: svcIdx, Input: in})
-		}
-		d = n.adm.Decide(now, local, in, req.DeadlineMS)
-		if !d.OK {
-			return
-		}
-		q := n.rt.SubmitSLO(local, in, now, req.DeadlineMS)
-		pend = &pending{
-			q:      q,
-			id:     req.RequestID,
-			predMS: d.PredMS,
-			workMS: d.WorkMS,
-			done:   make(chan struct{}),
-		}
-		n.pending[q] = pend
-		if req.RequestID != "" {
-			n.byID[req.RequestID] = pend
-		}
-		n.adm.Admitted(local, d.WorkMS)
-		n.routed++
-		if migrated {
-			n.migratedIn++
-		}
-		n.publish()
-	})
-	if err != nil || d.Reason == reasonDraining {
+	m := getAdmitMsg()
+	m.svc, m.global = local, svcIdx
+	m.in = in
+	m.deadlineMS = req.DeadlineMS
+	m.requestID = requestID
+	m.migrated = migrated
+	if n.enqueue(m) {
+		<-m.done
+	} else {
+		m.draining = true
+	}
+	d := m.d
+	pend, dup, cached, drainingVerdict := m.pend, m.dup, m.cached, m.draining
+	putAdmitMsg(m)
+
+	if drainingVerdict {
 		if storedRoute {
-			s.routes.Delete(req.RequestID)
+			s.routes.Delete(requestID)
 		}
 		s.countReject(svcIdx, reasonDraining)
 		resp.Reason = reasonDraining
 		resp.Error = "draining"
-		writeJSON(w, http.StatusServiceUnavailable, resp)
+		writeInfer(w, sc, http.StatusServiceUnavailable, &resp)
 		return
 	}
 	if cached != nil {
 		resp.Duplicate = true
-		s.respondFinished(w, resp, cached)
+		s.respondFinished(w, sc, &resp, cached)
 		return
 	}
 	if dup != nil {
@@ -694,28 +731,29 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		}
-		s.respondFinished(w, resp, dup)
+		s.respondFinished(w, sc, &resp, dup)
 		return
 	}
 	if !d.OK {
 		// Best-effort: free the route slot so a retry may land on a
 		// healthier replica. A duplicate racing this window re-pins.
 		if storedRoute {
-			s.routes.Delete(req.RequestID)
+			s.routes.Delete(requestID)
 		}
 		s.countReject(svcIdx, d.Reason)
 		resp.Reason = d.Reason
 		resp.PredictedMS = d.PredMS
 		resp.RetryAfterMS = d.RetryMS
 		resp.Degraded = d.Degraded
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", s.retryAfterSeconds(d.RetryMS)))
-		writeJSON(w, http.StatusTooManyRequests, resp)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds(d.RetryMS)))
+		writeInfer(w, sc, http.StatusTooManyRequests, &resp)
 		return
 	}
 
-	s.mu.Lock()
+	mu := s.statLock(svcIdx)
+	mu.Lock()
 	s.svc[svcIdx].accepted++
-	s.mu.Unlock()
+	mu.Unlock()
 
 	select {
 	case <-pend.done:
@@ -724,13 +762,15 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.Degraded = d.Degraded
-	s.respondFinished(w, resp, pend)
+	s.respondFinished(w, sc, &resp, pend)
 }
 
 // validate resolves the request onto a deployed service and checks the
-// input against the model's served envelope (paper Table 1).
-func (s *Server) validate(req *InferRequest) (int, dnn.Input, error) {
-	idx, ok := s.byName[req.Model]
+// input against the model's served envelope (paper Table 1). The map lookup
+// keyed on string(req.Model) does not allocate (the compiler elides the
+// conversion for lookups); error paths may.
+func (s *Server) validate(req *WireRequest) (int, dnn.Input, error) {
+	idx, ok := s.byName[string(req.Model)]
 	if !ok {
 		return 0, dnn.Input{}, fmt.Errorf("model %q not deployed", req.Model)
 	}
@@ -765,8 +805,9 @@ func (s *Server) validate(req *InferRequest) (int, dnn.Input, error) {
 }
 
 func (s *Server) countReject(svc int, reason string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	mu := s.statLock(svc)
+	mu.Lock()
+	defer mu.Unlock()
 	st := s.svc[svc]
 	switch reason {
 	case reasonDeadline:
@@ -1077,9 +1118,9 @@ func (s *Server) statz() Statz {
 	}
 
 	now := out.NowMS
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for i, st := range s.svc {
+		mu := s.statLock(i)
+		mu.Lock()
 		entry := ServiceStatz{
 			Service:          i,
 			Model:            s.cfg.Models[i].String(),
@@ -1105,6 +1146,7 @@ func (s *Server) statz() Statz {
 		if now > 0 {
 			entry.GoodputQPS = float64(st.good) / (now / 1000)
 		}
+		mu.Unlock()
 		out.Services = append(out.Services, entry)
 	}
 	return out

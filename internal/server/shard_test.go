@@ -1,0 +1,109 @@
+// Property test for admission/stats sharding: the gateway's observable
+// behavior — every /v1/infer response body and status, the final /statz
+// document, and the /metrics exposition — must be byte-identical at any
+// StatShards count, because sharding only changes lock contention, never
+// counter values or admission verdicts. The subtests run under t.Parallel so
+// the property holds at any -parallel width, each width driving its own
+// gateway through an identical serial request sequence.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"abacus/internal/dnn"
+	"abacus/internal/realtime"
+)
+
+// shardTraffic is the request sequence every run replays: accepted queries
+// across three services and two nodes, deadline rejections, malformed
+// bodies, a validation failure, and duplicate suppression via request IDs.
+func shardTraffic() []string {
+	seq := []string{
+		`{"model":"Res50","batch":4}`,
+		`{"model":"IncepV3","batch":2}`,
+		`{"model":"Res50","batch":1,"deadline_ms":0.001}`, // predicted completion cannot fit
+		`{"model":"Bert","batch":2,"seqlen":64}`,
+		`{not json`,
+		`{"model":"Res50","batch":4,"request_id":"dup-1"}`,
+		`{"model":"Res50","batch":4,"request_id":"dup-1"}`, // answered from the idempotency cache
+		`{"model":"nope","batch":1}`,
+		`{"model":"Bert","batch":1,"seqlen":128,"attempt":2}`,
+	}
+	for i := 0; i < 8; i++ {
+		seq = append(seq,
+			fmt.Sprintf(`{"model":"Res50","batch":%d}`, 1+i%8),
+			fmt.Sprintf(`{"model":"IncepV3","batch":%d,"deadline_ms":%d}`, 1+i%4, 200+i),
+			fmt.Sprintf(`{"model":"Bert","batch":1,"seqlen":64,"request_id":"rq-%d"}`, i),
+		)
+	}
+	return seq
+}
+
+// shardRun drives one gateway through the sequence and returns everything a
+// client could observe, concatenated.
+func shardRun(t *testing.T, shards int) string {
+	t.Helper()
+	s, err := New(Config{
+		Models:     []dnn.ModelID{dnn.ResNet50, dnn.InceptionV3, dnn.Bert},
+		Nodes:      2,
+		Placement:  [][]dnn.ModelID{{dnn.ResNet50, dnn.InceptionV3}, {dnn.Bert, dnn.ResNet50}},
+		Speedup:    realtime.Unpaced,
+		StatShards: shards,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	defer s.Drain()
+	h := s.Handler()
+	var out strings.Builder
+	for _, body := range shardTraffic() {
+		req := httptest.NewRequest(http.MethodPost, "/v1/infer", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		fmt.Fprintf(&out, "%d %s", rec.Code, rec.Body.String())
+	}
+	for _, path := range []string{"/statz", "/metrics"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		fmt.Fprintf(&out, "%d %s", rec.Code, rec.Body.String())
+	}
+	return out.String()
+}
+
+func TestStatShardDeterminism(t *testing.T) {
+	want := shardRun(t, 1) // the single-global-lock reference
+	for _, shards := range []int{0, 2, 3, 5, 8, 64} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			got := shardRun(t, shards)
+			if got != want {
+				t.Errorf("output diverges from single-lock reference\n got: %s\nwant: %s",
+					firstDiff(got, want), firstDiff(want, got))
+			}
+		})
+	}
+}
+
+// firstDiff returns a window around the first byte where a and b diverge.
+func firstDiff(a, b string) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 40
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 80
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return fmt.Sprintf("…%s… (offset %d)", a[lo:hi], i)
+}
