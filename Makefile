@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check tidy-check lint test test-short test-race bench bench-json bench-predict bench-http chaos trend workload ci
+.PHONY: all build vet fmt-check tidy-check lint test test-short test-race bench bench-json bench-predict bench-http bench-autoscale chaos trend workload examples ci
 
 all: build
 
@@ -72,6 +72,13 @@ bench-predict:
 bench-http:
 	$(GO) run ./cmd/abacus-httpbench -o BENCH_http.json
 
+# Elastic-autoscaler benchmark: the diurnal-autoscale scenario distilled
+# into the trend artifact abacus-trend gates on — goodput held to an
+# absolute 0.98 floor, node-milliseconds (the cost the scaler exists to
+# save) gated against growth.
+bench-autoscale:
+	$(GO) run ./cmd/abacus-chaos -bench -scenario diurnal-autoscale -autoscale-out BENCH_autoscale.json > /dev/null
+
 # Bench-trend check: rebuild both benchmark artifacts at TREND_BASE
 # (default origin/main) in a throwaway worktree, then diff against the
 # working tree's artifacts. Fails on a dropped scenario or benchmark, a
@@ -81,7 +88,7 @@ bench-http:
 # command (so they are skipped against pre-artifact history).
 TREND_BASE ?= origin/main
 
-trend: bench-json bench-predict bench-http
+trend: bench-json bench-predict bench-http bench-autoscale
 	@set -e; \
 	tmp=$$(mktemp -d); \
 	trap 'git worktree remove --force "$$tmp" 2>/dev/null || rm -rf "$$tmp"' EXIT; \
@@ -100,7 +107,13 @@ trend: bench-json bench-predict bench-http
 		mv "$$tmp/HTTP_base.json" HTTP_base.json; \
 		http_flags="-http-base HTTP_base.json -http-head BENCH_http.json"; \
 	fi; \
-	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags $$http_flags
+	autoscale_flags=""; \
+	if grep -qs autoscale-out "$$tmp/cmd/abacus-chaos/main.go"; then \
+		(cd "$$tmp" && $(GO) run ./cmd/abacus-chaos -scenario diurnal-autoscale -autoscale-out AUTOSCALE_base.json >/dev/null); \
+		mv "$$tmp/AUTOSCALE_base.json" AUTOSCALE_base.json; \
+		autoscale_flags="-autoscale-base AUTOSCALE_base.json -autoscale-head BENCH_autoscale.json"; \
+	fi; \
+	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags $$http_flags $$autoscale_flags
 
 # Run the built-in fault suite and hold the recovery scenarios to their QoS
 # floor (the throttle50 baseline intentionally fails it, so the floor is
@@ -114,6 +127,7 @@ chaos:
 	$(GO) run ./cmd/abacus-chaos -scenario flash-crowd -assert-goodput 0.99
 	$(GO) run ./cmd/abacus-chaos -scenario heavy-tail -assert-goodput 0.99
 	$(GO) run ./cmd/abacus-chaos -scenario diurnal-ramp -assert-goodput 0.98
+	$(GO) run ./cmd/abacus-chaos -scenario diurnal-autoscale -assert-goodput 0.98
 
 # Validate every example workload spec: parse, bind against the model zoo,
 # materialize, and a tracev2 write→read→write round trip that must be
@@ -121,4 +135,11 @@ chaos:
 workload:
 	$(GO) run ./cmd/abacus-workload -validate examples/workloads/*
 
-ci: build vet fmt-check test-race workload
+# Run the executable examples that double as end-to-end smoke tests; the
+# autoscale example drives the live elastic scaler through a full diurnal
+# cycle in virtual time, so a lifecycle regression fails `make ci` even
+# before the test suite points at it.
+examples:
+	$(GO) run ./examples/autoscale
+
+ci: build vet fmt-check test-race workload examples

@@ -24,6 +24,7 @@ import (
 	"abacus/internal/admit"
 	"abacus/internal/chaos"
 	"abacus/internal/cli"
+	"abacus/internal/scaler"
 	"abacus/internal/workload"
 )
 
@@ -43,9 +44,16 @@ func main() {
 	degrade := flag.Bool("degrade", true, "enable the degraded-mode controller in -script runs")
 	retry := flag.Bool("retry", false, "give -script runs a retrying virtual client")
 	predictCache := flag.Int("predict-cache", 0, "oracle memo-cache capacity for -script runs (0 = off; reports are identical either way)")
+	autoscale := flag.Bool("autoscale", false, "give -script runs the live elastic autoscaler between -min-nodes and -max-nodes (replaces -nodes)")
+	minNodes := flag.Int("min-nodes", 1, "autoscale floor for -script runs")
+	maxNodes := flag.Int("max-nodes", 8, "autoscale ceiling for -script runs")
+	warmupMS := flag.Float64("warmup-ms", 1500, "autoscale warm-up window for -script runs, virtual ms")
+	capacityQPS := flag.Float64("capacity-qps", 30, "autoscale per-node sustainable load for -script runs, virtual QPS")
+	scaleIntervalMS := flag.Float64("scale-interval-ms", 1000, "autoscale control-loop interval for -script runs, virtual ms")
 	assertGoodput := flag.Float64("assert-goodput", 0, "exit 1 unless every report's goodput meets this floor")
 	jsonOut := flag.Bool("json", false, "emit reports as JSON instead of text")
 	outFile := flag.String("o", "", "also write the JSON report array to this file")
+	autoscaleOut := flag.String("autoscale-out", "", "write an autoscale trend artifact (per-scenario goodput and node-hours) for every elastic report to this file")
 	bench := flag.Bool("bench", false, "benchmark mode: runs the suite and includes wall_seconds in -o output")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -60,7 +68,17 @@ func main() {
 		return
 	}
 
-	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *workloadFile, *modelsFlag, *nodes, *qps, *durationMS, *seed, *degrade, *retry, *predictCache)
+	var elastic *scaler.Config
+	if *autoscale {
+		elastic = &scaler.Config{
+			MinNodes:    *minNodes,
+			MaxNodes:    *maxNodes,
+			CapacityQPS: *capacityQPS,
+			WarmupMS:    *warmupMS,
+			IntervalMS:  *scaleIntervalMS,
+		}
+	}
+	scenarios, err := selectScenarios(*scenarioFlag, *scriptFile, *workloadFile, *modelsFlag, *nodes, *qps, *durationMS, *seed, *degrade, *retry, *predictCache, elastic)
 	if err != nil {
 		fail(err)
 	}
@@ -89,6 +107,11 @@ func main() {
 			fail(err)
 		}
 	}
+	if *autoscaleOut != "" {
+		if err := writeAutoscaleArtifact(*autoscaleOut, reports, *bench, wallSeconds); err != nil {
+			fail(err)
+		}
+	}
 
 	if *assertGoodput > 0 {
 		bad := false
@@ -106,7 +129,7 @@ func main() {
 }
 
 // selectScenarios resolves the flag combination into the scenario list.
-func selectScenarios(name, scriptFile, workloadFile, modelsFlag string, nodes int, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int) ([]chaos.Scenario, error) {
+func selectScenarios(name, scriptFile, workloadFile, modelsFlag string, nodes int, qps, durationMS float64, seed int64, degrade, retry bool, predictCache int, elastic *scaler.Config) ([]chaos.Scenario, error) {
 	if scriptFile != "" || workloadFile != "" {
 		models, err := cli.ParseModels(modelsFlag)
 		if err != nil {
@@ -152,6 +175,10 @@ func selectScenarios(name, scriptFile, workloadFile, modelsFlag string, nodes in
 		if retry {
 			sc.Retry = &chaos.RetryConfig{}
 		}
+		if elastic != nil {
+			sc.Autoscale = elastic
+			sc.Nodes = elastic.MinNodes
+		}
 		return []chaos.Scenario{sc}, nil
 	}
 	if name != "" {
@@ -168,6 +195,30 @@ func writeArtifact(path string, reports []*chaos.Report, bench bool, wallSeconds
 	art := chaos.Artifact{Reports: reports}
 	if bench {
 		art.WallSeconds = wallSeconds
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// writeAutoscaleArtifact distills every elastic report into the compact
+// trend artifact that abacus-trend gates on (goodput floor, node-hours
+// regression). Errors out when no report ran the autoscaler, so a
+// misconfigured CI lane fails loudly instead of gating on nothing.
+func writeAutoscaleArtifact(path string, reports []*chaos.Report, bench bool, wallSeconds float64) error {
+	art := chaos.AutoscaleArtifact{}
+	if bench {
+		art.WallSeconds = wallSeconds
+	}
+	for _, rep := range reports {
+		if sum, ok := chaos.AutoscaleSummaryOf(rep); ok {
+			art.Scenarios = append(art.Scenarios, sum)
+		}
+	}
+	if len(art.Scenarios) == 0 {
+		return fmt.Errorf("no elastic scenarios ran; nothing to write to %s", path)
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

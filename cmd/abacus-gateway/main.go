@@ -9,6 +9,7 @@
 //	abacus-gateway -addr 127.0.0.1:8080 -models Res152,IncepV3
 //	abacus-gateway -models Res101,Res152,VGG19,Bert -speedup 10 -queue-cap 32
 //	abacus-gateway -models Res152,IncepV3 -nodes 4       # replicated cluster
+//	abacus-gateway -models Res152,IncepV3 -autoscale -max-nodes 4   # elastic fleet
 //	abacus-gateway -models Res50,Res152,IncepV3 -placement 'Res50,Res152;IncepV3'
 //	abacus-gateway -spec examples/workloads/flash-crowd.json   # preflight a workload
 //	abacus-gateway -trace session.trace                  # capture arrivals to tracev2
@@ -45,6 +46,12 @@ func main() {
 	predictCache := flag.Int("predict-cache", 4096, "group-signature prediction cache capacity (0 disables)")
 	calibSeed := flag.Int64("calib-seed", 1, "seed for the calibration feedback reservoirs")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful drain bound on shutdown")
+	autoscaleFlag := flag.Bool("autoscale", false, "elastic fleet: a control loop adds and drains replicated nodes between -min-nodes and -max-nodes as offered load moves (incompatible with -nodes > 1 and -placement)")
+	minNodes := flag.Int("min-nodes", 1, "autoscale floor: nodes the fleet never shrinks below")
+	maxNodes := flag.Int("max-nodes", 8, "autoscale ceiling: nodes the fleet never grows beyond")
+	warmupMS := flag.Float64("warmup-ms", 1500, "autoscale warm-up window: a new node takes only the probe trickle for this long, virtual ms")
+	capacityQPS := flag.Float64("capacity-qps", 30, "autoscale sizing: sustainable per-node load, virtual QPS")
+	scaleIntervalMS := flag.Float64("scale-interval-ms", 1000, "autoscale control-loop observation interval, virtual ms")
 	specFile := flag.String("spec", "", "preflight a workload spec (JSON or YAML) against this deployment and print its offered-load digest before serving")
 	traceOut := flag.String("trace", "", "capture every admitted-path arrival and write it as a tracev2 file on drain")
 	version := flag.Bool("version", false, "print version and exit")
@@ -74,6 +81,17 @@ func main() {
 	}
 	if *predictCache <= 0 {
 		cfg.PredictCache = -1 // flag 0 = off; Config 0 = default
+	}
+	if *autoscaleFlag {
+		// Nodes stays as flagged: the gateway itself rejects anything but the
+		// default (1) or exactly -min-nodes.
+		cfg.Autoscale = &abacus.AutoscaleConfig{
+			MinNodes:    *minNodes,
+			MaxNodes:    *maxNodes,
+			CapacityQPS: *capacityQPS,
+			WarmupMS:    *warmupMS,
+			IntervalMS:  *scaleIntervalMS,
+		}
 	}
 	if *predictorFile != "" {
 		f, err := os.Open(*predictorFile)
@@ -133,6 +151,9 @@ func main() {
 	nodeNote := ""
 	if gw.NumNodes() > 1 {
 		nodeNote = fmt.Sprintf(", %d nodes", gw.NumNodes())
+	}
+	if *autoscaleFlag {
+		nodeNote = fmt.Sprintf(", autoscaling %d..%d nodes", *minNodes, *maxNodes)
 	}
 	fmt.Printf("abacus-gateway serving %v on http://%s (speedup %g, queue cap %d%s%s)\n",
 		models, ln.Addr(), *speedup, *queueCap, nodeNote, calNote)

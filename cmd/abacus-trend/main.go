@@ -16,6 +16,12 @@
 // component allocs/op are gated tightly; peak QPS and ns/op are wall-clock
 // figures gated generously, catching collapses rather than noise.
 //
+// With -autoscale-base/-autoscale-head it also diffs the elastic-autoscaler
+// artifacts (BENCH_autoscale.json, see abacus-chaos -autoscale-out): goodput
+// is held to an absolute floor (a PR may not ship an autoscaler below the
+// paper's 0.98 bar no matter the baseline) and node-milliseconds — the
+// cost the scaler exists to save — may not regress past the tolerance.
+//
 // Usage:
 //
 //	abacus-trend -base BENCH_base.json -head BENCH_gateway.json
@@ -43,6 +49,10 @@ func main() {
 	predictHead := flag.String("predict-head", "BENCH_predict.json", "candidate prediction hot-path artifact")
 	httpBase := flag.String("http-base", "", "baseline HTTP ingest artifact (enables the http gate)")
 	httpHead := flag.String("http-head", "BENCH_http.json", "candidate HTTP ingest artifact")
+	autoscaleBase := flag.String("autoscale-base", "", "baseline autoscale artifact (enables the autoscale gate)")
+	autoscaleHead := flag.String("autoscale-head", "BENCH_autoscale.json", "candidate autoscale artifact")
+	goodputFloor := flag.Float64("autoscale-goodput-floor", 0, "absolute goodput floor every elastic scenario must meet (default 0.98)")
+	maxNodeMSGrowth := flag.Float64("max-node-ms-growth", 0, "largest tolerated relative node-milliseconds increase in the autoscale artifact (default 0.10)")
 	maxQPSDrop := flag.Float64("max-qps-drop", 0, "largest tolerated relative peak-QPS decrease in the http artifact (default 0.50)")
 	maxHTTPAllocsGrowth := flag.Float64("max-http-allocs-growth", 0, "largest tolerated relative allocs-per-request increase in the http artifact (default 0.10)")
 	maxGoodputDrop := flag.Float64("max-goodput-drop", 0, "largest tolerated absolute goodput decrease (default 0.005)")
@@ -96,6 +106,17 @@ func main() {
 			hb.PeakQPS, hb.AllocsPerRequest, hh.PeakQPS, hh.AllocsPerRequest)
 	}
 
+	if *autoscaleBase != "" {
+		ab := readAutoscaleArtifact(*autoscaleBase)
+		ah := readAutoscaleArtifact(*autoscaleHead)
+		issues = append(issues, chaos.CompareAutoscaleTrend(ab, ah, chaos.AutoscaleTrendOptions{
+			GoodputFloor:    *goodputFloor,
+			MaxNodeMSGrowth: *maxNodeMSGrowth,
+		})...)
+		fmt.Printf("compared %d base autoscale scenarios against %d head scenarios\n",
+			len(ab.Scenarios), len(ah.Scenarios))
+	}
+
 	if len(issues) == 0 {
 		fmt.Println("trend clean: no regressions")
 		return
@@ -136,6 +157,18 @@ func readHTTPArtifact(path string) chaos.HTTPArtifact {
 		fail(err)
 	}
 	a, err := chaos.ParseHTTPArtifact(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return a
+}
+
+func readAutoscaleArtifact(path string) chaos.AutoscaleArtifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	a, err := chaos.ParseAutoscaleArtifact(data)
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}

@@ -1,7 +1,14 @@
-// Autoscaling example (paper §7.9 future work): build an Abacus-aware
-// capacity plan — which services to co-locate per GPU and how much goodput
-// one node sustains — then drive fleet-sizing decisions from a bursty
-// diurnal load.
+// Live elastic autoscaling: run the diurnal-autoscale scenario — the fig22
+// MAF-like trace against a fleet that starts at one node — and watch the
+// scaler add nodes into the morning ramp, warm them up on the probe
+// trickle, and drain them gracefully as the evening trough arrives. The
+// whole day plays out in virtual time, so the example finishes in seconds
+// and its numbers are deterministic.
+//
+// The capacity-planning half (autoscale.BuildPlan + PlanTimeline) answers
+// "how many nodes would I need"; this drives the answer live through the
+// serving stack: real admission control, real sticky routes remapped off
+// draining nodes, real terminal snapshots for retired ones.
 //
 //	go run ./examples/autoscale
 package main
@@ -11,44 +18,61 @@ import (
 	"log"
 	"strings"
 
-	"abacus/internal/autoscale"
-	"abacus/internal/dnn"
-	"abacus/internal/gpusim"
-	"abacus/internal/trace"
+	"abacus/internal/chaos"
 )
 
 func main() {
-	models := []dnn.ModelID{dnn.ResNet101, dnn.ResNet152, dnn.VGG19, dnn.Bert}
-
-	fmt.Println("building the co-location plan (affinity analysis + capacity probe)...")
-	plan := autoscale.BuildPlan(models, 2, gpusim.A100Profile(), 1)
-	for i, g := range plan.Groups {
-		names := make([]string, len(g))
-		for j, m := range g {
-			names[j] = m.String()
-		}
-		fmt.Printf("  GPU %d serves: %s\n", i+1, strings.Join(names, " + "))
+	sc, ok := chaos.Lookup("diurnal-autoscale")
+	if !ok {
+		log.Fatal("diurnal-autoscale scenario missing from the built-in suite")
 	}
-	fmt.Printf("  estimated node capacity: %.0f queries/s\n\n", plan.CapacityQPS)
+	cfg := *sc.Autoscale
+	fmt.Printf("running %s: %.0f s of MAF-like diurnal load, fleet %d..%d nodes,\n",
+		sc.Name, sc.MAF.DurationMS/1000, cfg.MinNodes, cfg.MaxNodes)
+	fmt.Printf("observe every %.0f ms, %.0f qps per node, %.0f ms warm-up per added node...\n\n",
+		cfg.IntervalMS, cfg.CapacityQPS, cfg.WarmupMS)
 
-	// Per-minute offered load from a 15-minute bursty diurnal trace.
-	gen := trace.NewGenerator(models, 2)
-	arrivals := gen.MAF(trace.DefaultMAFConfig(220, 15*60_000, 2))
-	offered := make([]float64, 15)
-	for _, a := range arrivals {
-		if b := int(a.Time / 60_000); b < len(offered) {
-			offered[b] += 1.0 / 60
-		}
-	}
-
-	planner, err := autoscale.NewPlanner(autoscale.PlannerConfig{Plan: plan})
+	rep, err := chaos.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("minute  offered  forecast  nodes  decision    utilization")
-	for i, pt := range autoscale.PlanTimeline(planner, offered) {
-		bar := strings.Repeat("#", pt.Nodes)
-		fmt.Printf("%6d  %7.0f  %8.0f  %5d  %-10s  %5.0f%%  %s\n",
-			i, pt.OfferedQPS, pt.Forecast, pt.Nodes, pt.Decision, 100*pt.Utilization, bar)
+	as := rep.Autoscale
+
+	fmt.Println("node lifetimes (virtual time; # marks the live span):")
+	for _, n := range rep.Nodes {
+		first, last := 0.0, as.EndMS
+		if n.Window != nil {
+			first, last = n.Window.FirstMS, n.Window.LastMS
+		}
+		role := "founder"
+		if first > 0 {
+			role = fmt.Sprintf("added @%.0fs", first/1000)
+		}
+		if last < as.EndMS {
+			role += fmt.Sprintf(", retired @%.0fs", last/1000)
+		}
+		fmt.Printf("  node %d  |%s|  %-26s routed %d, good %d\n",
+			n.Node, lifetimeBar(first, last, as.EndMS, 48), role, n.Routed, n.Good)
 	}
+
+	fmt.Printf("\nscale actions: %d out, %d in (held: hysteresis %d, cooldown %d, max %d)\n",
+		as.ScaleOuts, as.ScaleIns, as.HeldHysteresis, as.HeldCooldown, as.HeldMaxNodes)
+	fmt.Printf("fleet: peak %d nodes, final %d, %d control ticks\n", as.PeakNodes, as.FinalNodes, as.Ticks)
+	fmt.Printf("goodput: %.4f (%d good of %d sent)\n", rep.Goodput, rep.Good, rep.Sent)
+	fmt.Printf("node-time: %.3g node-ms elastic vs %.3g static at peak — %.1f%% saved\n",
+		as.NodeMS, as.StaticPeakNodeMS, 100*as.SavedFrac)
+}
+
+// lifetimeBar renders [first, last] as a span of '#' within [0, end].
+func lifetimeBar(first, last, end float64, width int) string {
+	bar := []byte(strings.Repeat(" ", width))
+	lo := int(first / end * float64(width))
+	hi := int(last / end * float64(width))
+	if hi >= width {
+		hi = width - 1
+	}
+	for i := lo; i <= hi; i++ {
+		bar[i] = '#'
+	}
+	return string(bar)
 }

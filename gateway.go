@@ -1,6 +1,7 @@
 package abacus
 
 import (
+	"abacus/internal/scaler"
 	"abacus/internal/server"
 )
 
@@ -26,6 +27,9 @@ type (
 	InferRequest = server.InferRequest
 	// InferResponse is the /v1/infer reply.
 	InferResponse = server.InferResponse
+	// AutoscaleConfig tunes the live elastic autoscaler; assign to
+	// GatewayConfig.Autoscale to turn the fixed fleet into an elastic one.
+	AutoscaleConfig = scaler.Config
 )
 
 // NewGateway builds an online serving gateway.

@@ -105,6 +105,51 @@ type PlannerConfig struct {
 	// shrinking (default 1.3), providing hysteresis against burst-driven
 	// oscillation.
 	ScaleInSlack float64
+	// MaxNodes caps the fleet (0 = unbounded). Scale-out beyond the cap is
+	// clamped and recorded as a held decision so operators can see the
+	// planner wanted more capacity than it was allowed.
+	MaxNodes int
+	// ScaleInCooldown suppresses scale-in for this many observations after
+	// any scale action (0 = none). It layers on top of ScaleInSlack:
+	// slack guards against shrinking a fleet that is barely oversized,
+	// cooldown guards against shrinking one that only just changed size.
+	// Scale-out is never delayed — under-provisioning costs goodput.
+	ScaleInCooldown int
+}
+
+// Reasons attached to LastDecision, explaining why the planner acted or
+// declined to act on its most recent observation.
+const (
+	ReasonScaleOut   = "scale-out"
+	ReasonScaleIn    = "scale-in"
+	ReasonSteady     = "steady"
+	ReasonHysteresis = "hysteresis" // scale-in wanted, fleet within slack
+	ReasonCooldown   = "cooldown"   // scale-in wanted, cooldown active
+	ReasonMaxNodes   = "max-nodes"  // scale-out wanted, fleet at cap
+)
+
+// LastDecision is a snapshot of the planner's most recent observation, for
+// /statz and /metrics: what it saw, what it wanted, and why it did (or did
+// not) act.
+type LastDecision struct {
+	Decision   Decision
+	Reason     string
+	OfferedQPS float64
+	Forecast   float64
+	DemandQPS  float64 // max(forecast, offered): what sizing used
+	Need       int     // nodes demanded before hysteresis/cooldown
+	Nodes      int     // fleet size after the decision
+}
+
+// Counters accumulate planner activity over the run: how often it scaled and
+// how often hysteresis, cooldown, or the fleet cap suppressed an action.
+type Counters struct {
+	Observations   int64
+	ScaleOuts      int64
+	ScaleIns       int64
+	HeldHysteresis int64
+	HeldCooldown   int64
+	HeldMaxNodes   int64
 }
 
 // Planner tracks load and recommends fleet sizes.
@@ -113,6 +158,9 @@ type Planner struct {
 	forecast float64
 	nodes    int
 	primed   bool
+	cooldown int // observations until scale-in is allowed again
+	last     LastDecision
+	counters Counters
 }
 
 // NewPlanner builds a planner starting at the configured minimum fleet.
@@ -141,6 +189,15 @@ func NewPlanner(cfg PlannerConfig) (*Planner, error) {
 	if cfg.ScaleInSlack < 1 {
 		return nil, fmt.Errorf("autoscale: scale-in slack %v must be >= 1", cfg.ScaleInSlack)
 	}
+	if cfg.MaxNodes < 0 {
+		return nil, fmt.Errorf("autoscale: max nodes %d must be >= 0", cfg.MaxNodes)
+	}
+	if cfg.MaxNodes > 0 && cfg.MaxNodes < cfg.MinNodes {
+		return nil, fmt.Errorf("autoscale: max nodes %d below min nodes %d", cfg.MaxNodes, cfg.MinNodes)
+	}
+	if cfg.ScaleInCooldown < 0 {
+		return nil, fmt.Errorf("autoscale: scale-in cooldown %d must be >= 0", cfg.ScaleInCooldown)
+	}
 	return &Planner{cfg: cfg, nodes: cfg.MinNodes}, nil
 }
 
@@ -149,6 +206,14 @@ func (p *Planner) Nodes() int { return p.nodes }
 
 // Forecast returns the smoothed load estimate in QPS.
 func (p *Planner) Forecast() float64 { return p.forecast }
+
+// Last returns a snapshot of the most recent observation: the decision, the
+// reason it fired or was suppressed, and the inputs that drove it. The zero
+// value is returned before the first Observe.
+func (p *Planner) Last() LastDecision { return p.last }
+
+// Counters returns the accumulated decision counters.
+func (p *Planner) Counters() Counters { return p.counters }
 
 // Observe feeds one interval's offered load (QPS) and returns the
 // recommendation together with the new fleet size. The fleet is resized
@@ -163,6 +228,12 @@ func (p *Planner) Observe(offeredQPS float64) (Decision, int) {
 	} else {
 		p.forecast = p.cfg.Alpha*offeredQPS + (1-p.cfg.Alpha)*p.forecast
 	}
+	// A cooldown of N set at observation T suppresses scale-in through
+	// observation T+N.
+	inCooldown := p.cooldown > 0
+	if inCooldown {
+		p.cooldown--
+	}
 	// Spikes act immediately; the EWMA only smooths the way down.
 	demand := math.Max(p.forecast, offeredQPS)
 	usable := p.cfg.Plan.CapacityQPS * p.cfg.Headroom
@@ -170,16 +241,48 @@ func (p *Planner) Observe(offeredQPS float64) (Decision, int) {
 	if need < p.cfg.MinNodes {
 		need = p.cfg.MinNodes
 	}
+	atCap := p.cfg.MaxNodes > 0 && need > p.cfg.MaxNodes
+	if atCap {
+		need = p.cfg.MaxNodes
+	}
+	p.counters.Observations++
+	p.last = LastDecision{
+		Decision:   Hold,
+		Reason:     ReasonSteady,
+		OfferedQPS: offeredQPS,
+		Forecast:   p.forecast,
+		DemandQPS:  demand,
+		Need:       need,
+	}
 	switch {
 	case need > p.nodes:
 		p.nodes = need
-		return ScaleOut, p.nodes
-	case need < p.nodes && float64(p.nodes) > float64(need)*p.cfg.ScaleInSlack:
-		p.nodes = need
-		return ScaleIn, p.nodes
+		p.cooldown = p.cfg.ScaleInCooldown
+		p.counters.ScaleOuts++
+		p.last.Decision, p.last.Reason = ScaleOut, ReasonScaleOut
+	case need < p.nodes:
+		switch {
+		case float64(p.nodes) <= float64(need)*p.cfg.ScaleInSlack:
+			p.counters.HeldHysteresis++
+			p.last.Reason = ReasonHysteresis
+		case inCooldown:
+			p.counters.HeldCooldown++
+			p.last.Reason = ReasonCooldown
+		default:
+			p.nodes = need
+			p.cooldown = p.cfg.ScaleInCooldown
+			p.counters.ScaleIns++
+			p.last.Decision, p.last.Reason = ScaleIn, ReasonScaleIn
+		}
 	default:
-		return Hold, p.nodes
+		if atCap {
+			// Steady only because the cap clamped the demand.
+			p.counters.HeldMaxNodes++
+			p.last.Reason = ReasonMaxNodes
+		}
 	}
+	p.last.Nodes = p.nodes
+	return p.last.Decision, p.nodes
 }
 
 // TimelinePoint records one planning interval for reporting.

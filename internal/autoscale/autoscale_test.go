@@ -154,3 +154,70 @@ func TestBuildPlanEndToEnd(t *testing.T) {
 		}
 	}
 }
+
+func TestPlannerMaxNodesClamp(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), MaxNodes: 3, Alpha: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, n := p.Observe(1000) // need ceil(1000/70)=15, clamped to 3
+	if d != ScaleOut || n != 3 {
+		t.Fatalf("clamped spike: %v, %d nodes; want scale-out to 3", d, n)
+	}
+	d, n = p.Observe(1000) // still starved, already at cap
+	if d != Hold || n != 3 {
+		t.Fatalf("at cap: %v, %d nodes; want hold at 3", d, n)
+	}
+	if last := p.Last(); last.Reason != ReasonMaxNodes {
+		t.Errorf("reason %q, want %q", last.Reason, ReasonMaxNodes)
+	}
+	if c := p.Counters(); c.HeldMaxNodes != 1 {
+		t.Errorf("held-max-nodes = %d, want 1", c.HeldMaxNodes)
+	}
+
+	if _, err := NewPlanner(PlannerConfig{Plan: testPlan(), MinNodes: 4, MaxNodes: 2}); err == nil {
+		t.Error("max < min accepted")
+	}
+}
+
+func TestPlannerScaleInCooldown(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), Alpha: 1, ScaleInCooldown: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(300) // scale-out to 5, arms cooldown
+	d, _ := p.Observe(0)
+	if d != Hold || p.Last().Reason != ReasonCooldown {
+		t.Fatalf("first post-action drop: %v/%q, want hold/cooldown", d, p.Last().Reason)
+	}
+	d, _ = p.Observe(0)
+	if d != Hold || p.Last().Reason != ReasonCooldown {
+		t.Fatalf("second post-action drop: %v/%q, want hold/cooldown", d, p.Last().Reason)
+	}
+	d, n := p.Observe(0)
+	if d != ScaleIn || n != 1 || p.Last().Reason != ReasonScaleIn {
+		t.Fatalf("after cooldown: %v, %d nodes, %q; want scale-in to 1", d, n, p.Last().Reason)
+	}
+	if c := p.Counters(); c.HeldCooldown != 2 || c.ScaleIns != 1 || c.ScaleOuts != 1 || c.Observations != 4 {
+		t.Errorf("counters %+v", c)
+	}
+}
+
+func TestPlannerLastDecisionInputs(t *testing.T) {
+	p, err := NewPlanner(PlannerConfig{Plan: testPlan(), Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(300) // primes forecast at 300 → 5 nodes
+	p.Observe(250) // forecast 275, demand 275 → need 4: within slack, hold
+	last := p.Last()
+	if last.OfferedQPS != 250 || last.Forecast != 275 || last.DemandQPS != 275 {
+		t.Errorf("last inputs %+v, want offered=250 forecast=275 demand=275", last)
+	}
+	if last.Need != 4 || last.Nodes != 5 || last.Reason != ReasonHysteresis {
+		t.Errorf("last outputs %+v, want need=4 nodes=5 reason=hysteresis", last)
+	}
+	if c := p.Counters(); c.HeldHysteresis != 1 {
+		t.Errorf("held-hysteresis = %d, want 1", c.HeldHysteresis)
+	}
+}

@@ -1,0 +1,117 @@
+// Elastic-fleet support for the chaos harness: the virtual-time side of the
+// live autoscaler. Scale ticks, node adds, graceful drains, and retirements
+// are all ordinary engine events on the single shared clock, so an elastic
+// run keeps the harness's determinism guarantee — byte-identical reports at
+// any parallelism width.
+
+package chaos
+
+import (
+	"fmt"
+
+	"abacus/internal/sim"
+)
+
+// newNodeReport allocates a stable per-node report and registers it. Reports
+// live on the heap (not in rep.Nodes) because an elastic run appends nodes
+// mid-flight; finalize folds them into rep.Nodes in ID order.
+func (h *harness) newNodeReport(n *hNode) *NodeReport {
+	nr := &NodeReport{Node: n.id, Services: make([]ServiceReport, len(n.rt.Services()))}
+	for i, svc := range n.rt.Services() {
+		nr.Services[i] = ServiceReport{Service: i, Model: svc.Model.String(), CalibSlope: 1}
+	}
+	h.nodeReps = append(h.nodeReps, nr)
+	return nr
+}
+
+// scaleTick is one control-loop interval: measure offered QPS since the last
+// tick, let the controller decide, and execute its advice as virtual-time
+// actions.
+func (h *harness) scaleTick(now sim.Time) {
+	cfg := h.ctrl.Config()
+	qps := float64(h.tickQueries) * 1000 / cfg.IntervalMS
+	h.tickQueries = 0
+	adv := h.ctrl.Tick(float64(now), qps)
+	for _, id := range adv.Promote {
+		h.nodes[id].warming = false
+	}
+	for _, id := range adv.Add {
+		h.addNode(id, now)
+	}
+	for _, id := range adv.Drain {
+		h.drainNode(h.nodes[id], now)
+	}
+}
+
+// addNode provisions one warming node on the shared engine mid-run.
+func (h *harness) addNode(id int, now sim.Time) {
+	n, err := h.newHNode(id, h.eng)
+	if err != nil {
+		// The founders were built from the same config; a failure here is a
+		// harness bug, not a scenario input error.
+		panic(fmt.Sprintf("chaos: adding node %d: %v", id, err))
+	}
+	if id != len(h.nodes) {
+		panic(fmt.Sprintf("chaos: controller allocated node %d, harness has %d", id, len(h.nodes)))
+	}
+	n.warming = true
+	nr := h.newNodeReport(n)
+	nr.Window = &NodeWindow{FirstMS: float64(now)}
+	n.rep = nr
+	h.nodes = append(h.nodes, n)
+}
+
+// drainNode marks a node unroutable; it retires once in-flight queries
+// resolve (immediately when idle).
+func (h *harness) drainNode(n *hNode, now sim.Time) {
+	n.draining = true
+	n.warming = false
+	if n.inflight == 0 {
+		h.retireNode(n, now)
+	}
+}
+
+// retireNode closes the node's lifetime window. Its stats stay in the
+// report; the router never sees it again.
+func (h *harness) retireNode(n *hNode, now sim.Time) {
+	n.retired = true
+	n.rep.Window.LastMS = float64(now)
+	h.ctrl.Retire(n.id, float64(now))
+}
+
+// finalizeAutoscale closes live nodes' windows at the terminal instant and
+// folds the controller state into the report.
+func (h *harness) finalizeAutoscale() {
+	end := float64(h.eng.Now())
+	for _, n := range h.nodes {
+		if !n.retired {
+			n.rep.Window.LastMS = end
+		}
+	}
+	snap := h.ctrl.Snapshot(end)
+	cfg := h.ctrl.Config()
+	static := float64(snap.Peak) * end
+	saved := 0.0
+	if static > 0 {
+		saved = 1 - snap.NodeMS/static
+	}
+	h.rep.Autoscale = &AutoscaleReport{
+		MinNodes:         cfg.MinNodes,
+		MaxNodes:         cfg.MaxNodes,
+		IntervalMS:       cfg.IntervalMS,
+		WarmupMS:         cfg.WarmupMS,
+		Ticks:            snap.Ticks,
+		ScaleOuts:        snap.ScaleOuts,
+		ScaleIns:         snap.ScaleIns,
+		HeldHysteresis:   snap.Counters.HeldHysteresis,
+		HeldCooldown:     snap.Counters.HeldCooldown,
+		HeldMaxNodes:     snap.Counters.HeldMaxNodes,
+		PeakNodes:        snap.Peak,
+		FinalNodes:       snap.Live,
+		EndMS:            end,
+		NodeMS:           snap.NodeMS,
+		StaticPeakNodeMS: static,
+		SavedFrac:        saved,
+		ForecastQPS:      snap.Forecast,
+	}
+}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"abacus/internal/scaler"
+	"abacus/internal/trace"
+	"abacus/internal/workload"
+)
+
+// TestAutoscaleDiurnalAcceptance is the elasticity pin: under the built-in
+// diurnal-autoscale scenario (fig22 MAF-like diurnal trace against a live
+// controller) the fleet must breathe with the day — scaling out through the
+// peak without losing goodput and scaling back in through the trough to save
+// node-time against a statically peak-provisioned fleet.
+func TestAutoscaleDiurnalAcceptance(t *testing.T) {
+	rep := mustRun(t, "diurnal-autoscale")
+	as := rep.Autoscale
+	if as == nil {
+		t.Fatal("elastic run produced no autoscale block")
+	}
+
+	// The two floors `make chaos` asserts via the CLI, held here too so
+	// `go test` alone catches a regression.
+	if rep.Goodput < 0.98 {
+		t.Errorf("goodput %.4f through the diurnal peak, want >= 0.98:\n%s", rep.Goodput, rep.Text())
+	}
+	if as.SavedFrac < 0.25 {
+		t.Errorf("node-time saved %.4f vs static peak fleet, want >= 0.25:\n%s", as.SavedFrac, rep.Text())
+	}
+
+	// The controller actually acted: the peak forced scale-out past the
+	// floor and the trough brought the fleet back down.
+	if as.ScaleOuts == 0 || as.ScaleIns == 0 {
+		t.Errorf("scale_outs %d scale_ins %d; a diurnal trace must drive both", as.ScaleOuts, as.ScaleIns)
+	}
+	if as.PeakNodes <= as.MinNodes {
+		t.Errorf("peak %d never rose above the %d-node floor", as.PeakNodes, as.MinNodes)
+	}
+	if as.FinalNodes != as.MinNodes {
+		t.Errorf("fleet ends at %d nodes, want back at the %d-node floor", as.FinalNodes, as.MinNodes)
+	}
+	if as.NodeMS <= 0 || as.NodeMS >= as.StaticPeakNodeMS {
+		t.Errorf("node_ms %.0f vs static %.0f; elastic must cost less than peak-static",
+			as.NodeMS, as.StaticPeakNodeMS)
+	}
+
+	// Lifetime windows are sane: founders open at t=0, added nodes open
+	// mid-run, every window is ordered and closed by the terminal instant,
+	// and node-time totals match the sum of windows.
+	if len(rep.Nodes) < as.PeakNodes {
+		t.Fatalf("%d node rows for a fleet that peaked at %d", len(rep.Nodes), as.PeakNodes)
+	}
+	var windowMS float64
+	for _, n := range rep.Nodes {
+		w := n.Window
+		if w == nil {
+			t.Fatalf("node %d has no lifetime window", n.Node)
+		}
+		if n.Node < as.MinNodes && w.FirstMS != 0 {
+			t.Errorf("founder %d window opens at %v, want 0", n.Node, w.FirstMS)
+		}
+		if n.Node >= as.MinNodes && w.FirstMS <= 0 {
+			t.Errorf("added node %d window opens at %v, want mid-run", n.Node, w.FirstMS)
+		}
+		if w.LastMS < w.FirstMS || w.LastMS > as.EndMS {
+			t.Errorf("node %d window [%v, %v] outside [first, %v]", n.Node, w.FirstMS, w.LastMS, as.EndMS)
+		}
+		windowMS += w.LastMS - w.FirstMS
+	}
+	if diff := windowMS - as.NodeMS; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("window sum %.0f != controller node_ms %.0f", windowMS, as.NodeMS)
+	}
+
+	// Per-node rows stay conserved against cluster totals — retirement must
+	// not leak or double-count queries.
+	var adm, comp, routed int64
+	for _, n := range rep.Nodes {
+		adm += n.Admitted
+		comp += n.Completed
+		routed += n.Routed
+		if n.Admitted != n.Completed+n.Dropped {
+			t.Errorf("node %d: admitted %d != completed %d + dropped %d",
+				n.Node, n.Admitted, n.Completed, n.Dropped)
+		}
+		if n.Completed != n.Good+n.Violated {
+			t.Errorf("node %d: completed %d != good %d + violated %d",
+				n.Node, n.Completed, n.Good, n.Violated)
+		}
+	}
+	if adm != rep.Admitted || comp != rep.Completed || routed != rep.Admitted {
+		t.Errorf("node sums admitted %d completed %d routed %d vs cluster %d/%d",
+			adm, comp, routed, rep.Admitted, rep.Completed)
+	}
+
+	// The rendered report carries the autoscale lines and per-node windows.
+	txt := rep.Text()
+	for _, want := range []string{"autoscale: nodes", "scale_outs", "node_ms", "window ["} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("report text missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+// TestAutoscaleScenarioValidation covers the elastic-run input rules.
+func TestAutoscaleScenarioValidation(t *testing.T) {
+	maf := &trace.MAFConfig{BaseQPS: 10, DurationMS: 1000, Seed: 1}
+	as := &scaler.Config{MinNodes: 2, CapacityQPS: 30}
+
+	// Workload and MAF cannot both drive arrivals.
+	if _, err := Run(Scenario{
+		Name: "both", Seed: 1, MAF: maf,
+		Workload: &workload.Spec{},
+	}); err == nil {
+		t.Error("Workload+MAF scenario accepted")
+	}
+
+	// An elastic scenario's Nodes must be unset or equal MinNodes — the run
+	// starts at the floor, not at an arbitrary fixed fleet.
+	if _, err := Run(Scenario{
+		Name: "mismatch", Seed: 1, DurationMS: 1000, Nodes: 3, Autoscale: as,
+	}); err == nil {
+		t.Error("autoscale scenario with Nodes != MinNodes accepted")
+	}
+
+	// A bad controller config surfaces as a Run error, not a panic.
+	if _, err := Run(Scenario{
+		Name: "badcfg", Seed: 1, DurationMS: 1000,
+		Autoscale: &scaler.Config{MinNodes: 1, CapacityQPS: -1},
+	}); err == nil {
+		t.Error("autoscale scenario with negative capacity accepted")
+	}
+}

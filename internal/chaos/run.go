@@ -10,6 +10,7 @@ import (
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/scaler"
 	"abacus/internal/sched"
 	"abacus/internal/sim"
 	"abacus/internal/stats"
@@ -100,6 +101,21 @@ type Scenario struct {
 	// overrides DurationMS and its seed falls back to Seed when unset. QPS is
 	// ignored (the report records the spec's realized rate instead).
 	Workload *workload.Spec
+	// MAF, when non-nil, replaces the arrival source with the fig22
+	// synthetic Azure-Functions-like trace (diurnal sinusoid over per-minute
+	// Poisson rates, optional burst minutes). Its duration overrides
+	// DurationMS; QPS is ignored (the report records the realized rate).
+	// Mutually exclusive with Workload.
+	MAF *trace.MAFConfig
+	// Autoscale, when non-nil, replaces the fixed Nodes fleet with the live
+	// elastic scaler: the run starts at MinNodes replicated nodes, a
+	// virtual-time control loop observes offered QPS each interval, and
+	// node adds (with a modeled warm-up window served only a probe trickle)
+	// and drains (graceful: in-flight queries finish, then the node
+	// retires) play out as ordinary engine events — the determinism
+	// guarantee is unchanged. Nodes must be zero or equal MinNodes; fault
+	// windows may only target the founding nodes.
+	Autoscale *scaler.Config
 }
 
 // Report is one scenario's outcome. All fields derive from virtual time and
@@ -152,7 +168,40 @@ type Report struct {
 	// worst-case for margins and divergence).
 	Services []ServiceReport `json:"services"`
 	// Nodes breaks a cluster run down per node; nil for single-node runs.
+	// Elastic runs list every node that ever existed, retired ones
+	// included, each with its lifetime Window.
 	Nodes []NodeReport `json:"nodes,omitempty"`
+	// Autoscale summarizes the elastic control loop; nil for fixed fleets.
+	Autoscale *AutoscaleReport `json:"autoscale,omitempty"`
+}
+
+// AutoscaleReport is the elastic run's scaling summary: what the control
+// loop did and what it cost against static peak provisioning.
+type AutoscaleReport struct {
+	MinNodes   int     `json:"min_nodes"`
+	MaxNodes   int     `json:"max_nodes"`
+	IntervalMS float64 `json:"interval_ms"`
+	WarmupMS   float64 `json:"warmup_ms"`
+
+	Ticks          int64 `json:"ticks"`
+	ScaleOuts      int64 `json:"scale_outs"` // node-add actions
+	ScaleIns       int64 `json:"scale_ins"`  // node-drain actions
+	HeldHysteresis int64 `json:"held_hysteresis"`
+	HeldCooldown   int64 `json:"held_cooldown"`
+	HeldMaxNodes   int64 `json:"held_max_nodes"`
+
+	PeakNodes  int     `json:"peak_nodes"`
+	FinalNodes int     `json:"final_nodes"` // live when the run ended
+	EndMS      float64 `json:"end_ms"`      // final virtual instant, drain included
+
+	// NodeMS is accumulated node-time; StaticPeakNodeMS is what a fixed
+	// fleet of PeakNodes would have burned over the same span. SavedFrac is
+	// the node-hours-saved figure the trend gate holds.
+	NodeMS           float64 `json:"node_ms"`
+	StaticPeakNodeMS float64 `json:"static_peak_node_ms"`
+	SavedFrac        float64 `json:"node_ms_saved_frac"`
+
+	ForecastQPS float64 `json:"forecast_qps"` // EWMA at end of run
 }
 
 // ServiceReport is one service's slice of a chaos report.
@@ -198,6 +247,19 @@ type NodeReport struct {
 
 	// Services is the per-node, per-service breakdown, in service order.
 	Services []ServiceReport `json:"services"`
+
+	// Window is the node's lifetime in elastic runs: provisioned at
+	// FirstMS, retired (or run over) at LastMS. Per-node rates must be
+	// judged against this window, not the whole run — a node retired in
+	// the trough served a fraction of the span, and dividing its counts by
+	// the full run would dilute them. Nil for fixed fleets.
+	Window *NodeWindow `json:"window,omitempty"`
+}
+
+// NodeWindow bounds one elastic node's lifetime in virtual ms.
+type NodeWindow struct {
+	FirstMS float64 `json:"first_ms"`
+	LastMS  float64 `json:"last_ms"`
 }
 
 // request is one virtual client's state across attempts.
@@ -217,7 +279,8 @@ type pend struct {
 
 // hNode is one node's serving stack inside the harness: its own device on
 // the shared engine, runtime, admitter, perturbation layer, and optional
-// calibration tracker.
+// calibration tracker. The lifecycle flags only move in elastic runs; a
+// fixed fleet leaves all three false (fully routable forever).
 type hNode struct {
 	id      int
 	rt      *core.Runtime
@@ -226,18 +289,32 @@ type hNode struct {
 	memo    *predictor.Memoized // nil when the oracle cache is off
 	tracker *calib.Tracker      // nil when calibration is off
 	rep     *NodeReport         // nil for single-node runs
+
+	warming  bool // paying warm-up: probe trickle only
+	draining bool // unroutable, waiting out in-flight queries
+	retired  bool // drained and stopped
+	inflight int  // admitted queries not yet resolved
 }
 
 // harness wires one scenario run; everything runs on the engine goroutine.
 type harness struct {
-	sc      Scenario
-	retry   RetryConfig
-	eng     *sim.Engine
-	nodes   []*hNode
-	probes  []int64 // per-service route counter driving quarantine probes
-	pending map[*sched.Query]*pend
-	rep     *Report
-	lats    []float64
+	sc       Scenario
+	retry    RetryConfig
+	eng      *sim.Engine
+	nodes    []*hNode
+	nodeReps []*NodeReport // stable per-node reports (folded into rep.Nodes)
+	probes   []int64       // per-service route counter driving quarantine probes
+	pending  map[*sched.Query]*pend
+	rep      *Report
+	lats     []float64
+
+	ctrl        *scaler.Controller // nil for fixed fleets
+	tickQueries int64              // offered arrivals since the last scale tick
+
+	// route scratch, reused across calls to keep the hot path allocation
+	// free now that the candidate set is dynamic.
+	scratchBase    []*hNode
+	scratchHealthy []*hNode
 }
 
 // probeEvery is the quarantine-probe cadence: every Nth routing decision per
@@ -317,12 +394,31 @@ func Run(sc Scenario) (*Report, error) {
 	}
 	var compiled *workload.Compiled
 	if sc.Workload != nil {
+		if sc.MAF != nil {
+			return nil, fmt.Errorf("chaos: Workload and MAF are mutually exclusive")
+		}
 		var err error
 		compiled, err = sc.Workload.Bind(sc.Models, sc.Seed)
 		if err != nil {
 			return nil, err
 		}
 		sc.DurationMS = sc.Workload.DurationMS
+	}
+	if sc.MAF != nil {
+		sc.DurationMS = sc.MAF.DurationMS
+	}
+	var ctrl *scaler.Controller
+	if sc.Autoscale != nil {
+		var err error
+		ctrl, err = scaler.New(*sc.Autoscale)
+		if err != nil {
+			return nil, err
+		}
+		min := ctrl.Config().MinNodes
+		if sc.Nodes != 1 && sc.Nodes != min {
+			return nil, fmt.Errorf("chaos: autoscale starts at MinNodes %d, not Nodes %d", min, sc.Nodes)
+		}
+		sc.Nodes = min
 	}
 	if sc.QoSFactor == 0 {
 		sc.QoSFactor = 2
@@ -344,18 +440,19 @@ func Run(sc Scenario) (*Report, error) {
 		retry:   RetryConfig{MaxAttempts: 1}, // no retries unless configured
 		pending: make(map[*sched.Query]*pend),
 		rep:     &Report{Name: sc.Name, Seed: sc.Seed, QPS: sc.QPS},
+		ctrl:    ctrl,
 	}
 	if sc.Retry != nil {
 		h.retry = sc.Retry.withDefaults()
 	}
 
 	var shared *sim.Engine
-	if sc.Nodes > 1 {
+	if sc.Nodes > 1 || ctrl != nil {
 		// One clock, N devices: every node's runtime shares the engine so
 		// per-node fault windows and cross-node routing are one ordered
-		// event stream.
+		// event stream. Elastic runs always share, even when they open at a
+		// single node — more can appear.
 		shared = sim.NewEngine()
-		h.rep.Nodes = make([]NodeReport, sc.Nodes)
 	}
 	for id := 0; id < sc.Nodes; id++ {
 		n, err := h.newHNode(id, shared)
@@ -363,12 +460,11 @@ func Run(sc Scenario) (*Report, error) {
 			return nil, err
 		}
 		if shared != nil {
-			h.rep.Nodes[id].Node = id
-			h.rep.Nodes[id].Services = make([]ServiceReport, len(n.rt.Services()))
-			for i, svc := range n.rt.Services() {
-				h.rep.Nodes[id].Services[i] = ServiceReport{Service: i, Model: svc.Model.String(), CalibSlope: 1}
+			nr := h.newNodeReport(n)
+			if ctrl != nil {
+				nr.Window = &NodeWindow{} // founders open at t=0
 			}
-			n.rep = &h.rep.Nodes[id]
+			n.rep = nr
 		}
 		h.nodes = append(h.nodes, n)
 	}
@@ -383,17 +479,29 @@ func Run(sc Scenario) (*Report, error) {
 	}
 
 	// Fault windows first, so a window opening at t applies before any
-	// arrival or retry scheduled at the same instant.
+	// arrival or retry scheduled at the same instant; scale ticks next, so
+	// a tick at t sizes the fleet before that instant's arrivals.
 	for _, w := range sc.Script.Windows {
 		h.scheduleWindow(w)
 	}
+	if ctrl != nil {
+		interval := ctrl.Config().IntervalMS
+		for t := interval; t <= sc.DurationMS; t += interval {
+			at := sim.Time(t)
+			h.eng.ScheduleAt(at, func() { h.scaleTick(at) })
+		}
+	}
 	var arrivals []trace.Arrival
-	if compiled != nil {
+	switch {
+	case compiled != nil:
 		arrivals = compiled.Materialize()
 		// The offered rate is a property of the spec, not a knob; report the
 		// realized mean so floors stay meaningful.
 		h.rep.QPS = float64(len(arrivals)) / (sc.DurationMS / 1000)
-	} else {
+	case sc.MAF != nil:
+		arrivals = trace.NewGenerator(sc.Models, sc.Seed).MAF(*sc.MAF)
+		h.rep.QPS = float64(len(arrivals)) / (sc.DurationMS / 1000)
+	default:
 		arrivals = trace.NewGenerator(sc.Models, sc.Seed).Poisson(sc.QPS, sc.DurationMS)
 	}
 	for i, a := range arrivals {
@@ -473,6 +581,15 @@ func (h *harness) finalize() {
 	if h.rep.Admitted > 0 {
 		h.rep.Goodput = float64(h.rep.Good) / float64(h.rep.Admitted)
 	}
+	if h.ctrl != nil {
+		h.finalizeAutoscale()
+	}
+	if len(h.nodeReps) > 0 {
+		h.rep.Nodes = make([]NodeReport, len(h.nodeReps))
+		for i, nr := range h.nodeReps {
+			h.rep.Nodes[i] = *nr
+		}
+	}
 }
 
 // scheduleWindow arms one fault window's open and close events on its
@@ -531,35 +648,54 @@ func (h *harness) scheduleWindow(w Window) {
 	// attempt(), not via scheduled state changes.
 }
 
-// route picks the serving node for one query: the least-loaded node whose
-// drift detector for the service is quiet, except on probe turns, which
-// consider every replica. migrated reports that a degraded replica was
-// skipped. Single-node runs route trivially.
+// route picks the serving node for one query over the mutable routable set:
+// the least-loaded eligible node whose drift detector for the service is
+// quiet, except on probe turns, which consider every eligible replica.
+// Draining and retired nodes never take new work; warming nodes are
+// eligible only on probe turns — the warm-up trickle, reusing the same
+// cadence that lets quarantined replicas rejoin. migrated reports that a
+// degraded replica was skipped. Single-node runs route trivially.
 func (h *harness) route(svc int) (n *hNode, migrated bool) {
 	if len(h.nodes) == 1 {
 		return h.nodes[0], false
 	}
-	cand := h.nodes
 	h.probes[svc]++
-	if h.probes[svc]%probeEvery != 0 {
-		healthy := make([]*hNode, 0, len(h.nodes))
+	probe := h.probes[svc]%probeEvery == 0
+	base := h.scratchBase[:0]
+	for _, c := range h.nodes {
+		if c.draining || c.retired || (c.warming && !probe) {
+			continue
+		}
+		base = append(base, c)
+	}
+	if len(base) == 0 {
+		// Every active node is mid-drain replacement and it is not a probe
+		// turn: fall back to the warming ones rather than stranding the
+		// query.
 		for _, c := range h.nodes {
+			if !c.draining && !c.retired {
+				base = append(base, c)
+			}
+		}
+	}
+	h.scratchBase = base
+	cand := base
+	if !probe {
+		healthy := h.scratchHealthy[:0]
+		for _, c := range base {
 			if !c.adm.Degrade().Active(svc) {
 				healthy = append(healthy, c)
 			}
 		}
-		// All-degraded falls back to every node: shedding is the admitters'
-		// job, routing still balances what is left.
+		h.scratchHealthy = healthy
+		// All-degraded falls back to every eligible node: shedding is the
+		// admitters' job, routing still balances what is left.
 		if len(healthy) > 0 {
-			migrated = len(healthy) < len(h.nodes)
+			migrated = len(healthy) < len(base)
 			cand = healthy
 		}
 	}
-	idx := make([]int, len(cand))
-	for i := range cand {
-		idx[i] = i
-	}
-	pick := cluster.LeastLoaded(idx, func(i int) float64 { return cand[i].adm.BacklogMS() })
+	pick := cluster.Pick(len(cand), func(i int) float64 { return cand[i].adm.BacklogMS() })
 	return cand[pick], migrated
 }
 
@@ -567,6 +703,11 @@ func (h *harness) route(svc int) (n *hNode, migrated bool) {
 func (h *harness) attempt(r *request, now sim.Time) {
 	r.attempts++
 	h.rep.Attempts++
+	// Every attempt is offered pressure the control loop should see,
+	// whether or not admission accepts it.
+	if h.ctrl != nil {
+		h.tickQueries++
+	}
 
 	// Transit faults, in a fixed order: a corrupted body reaches the
 	// gateway (and is rejected there); a dropped request never does.
@@ -618,6 +759,7 @@ func (h *harness) attempt(r *request, now sim.Time) {
 		}
 	}
 	n.adm.Admitted(r.svc, d.WorkMS)
+	n.inflight++
 	q := n.rt.SubmitSLO(r.svc, r.in, now, sloMS)
 	h.pending[q] = &pend{predMS: d.PredMS, workMS: d.WorkMS}
 
@@ -666,6 +808,12 @@ func (h *harness) onResult(n *hNode, q *sched.Query) {
 		return
 	}
 	delete(h.pending, q)
+	n.inflight--
+	if n.draining && !n.retired && n.inflight == 0 {
+		// Last in-flight query resolved: graceful drain completes, the node
+		// retires at this exact virtual instant.
+		h.retireNode(n, h.eng.Now())
+	}
 	svc := q.Service.ID
 	sr := &h.rep.Services[svc]
 	n.adm.Finish(svc, p.workMS)

@@ -207,6 +207,117 @@ func nodeGoodput(n *NodeReport) float64 {
 	return float64(n.Good) / float64(n.Admitted)
 }
 
+// AutoscaleSummary is one elastic scenario's row inside BENCH_autoscale.json:
+// the QoS outcome (goodput through the peak, tail latency) next to the cost
+// outcome (node-time spent vs a statically peak-provisioned fleet) and the
+// control-loop action counts.
+type AutoscaleSummary struct {
+	Name             string  `json:"name"`
+	Goodput          float64 `json:"goodput"`
+	P99MS            float64 `json:"p99_ms"`
+	NodeMS           float64 `json:"node_ms"`
+	StaticPeakNodeMS float64 `json:"static_peak_node_ms"`
+	SavedFrac        float64 `json:"node_ms_saved_frac"`
+	ScaleOuts        int64   `json:"scale_outs"`
+	ScaleIns         int64   `json:"scale_ins"`
+	PeakNodes        int     `json:"peak_nodes"`
+}
+
+// AutoscaleArtifact is the BENCH_autoscale.json shape: one summary per
+// elastic scenario, uploaded by the bench lane next to BENCH_gateway.json.
+type AutoscaleArtifact struct {
+	// WallSeconds is wall-clock and ignored by trend comparison.
+	WallSeconds float64            `json:"wall_seconds,omitempty"`
+	Scenarios   []AutoscaleSummary `json:"scenarios"`
+}
+
+// AutoscaleSummaryOf extracts the trend row from an elastic run's report;
+// ok is false for fixed-fleet reports.
+func AutoscaleSummaryOf(r *Report) (AutoscaleSummary, bool) {
+	if r.Autoscale == nil {
+		return AutoscaleSummary{}, false
+	}
+	a := r.Autoscale
+	return AutoscaleSummary{
+		Name:             r.Name,
+		Goodput:          r.Goodput,
+		P99MS:            r.P99MS,
+		NodeMS:           a.NodeMS,
+		StaticPeakNodeMS: a.StaticPeakNodeMS,
+		SavedFrac:        a.SavedFrac,
+		ScaleOuts:        a.ScaleOuts,
+		ScaleIns:         a.ScaleIns,
+		PeakNodes:        a.PeakNodes,
+	}, true
+}
+
+// ParseAutoscaleArtifact decodes an autoscale benchmark artifact.
+func ParseAutoscaleArtifact(data []byte) (AutoscaleArtifact, error) {
+	var a AutoscaleArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return AutoscaleArtifact{}, fmt.Errorf("chaos: parsing autoscale artifact: %w", err)
+	}
+	if len(a.Scenarios) == 0 {
+		return AutoscaleArtifact{}, fmt.Errorf("chaos: autoscale artifact has no scenarios")
+	}
+	return a, nil
+}
+
+// AutoscaleTrendOptions sets the elasticity regression tolerances. The
+// goodput gate is an absolute floor rather than a base-relative drop: an
+// elastic fleet that sheds load through the peak has failed regardless of
+// how the baseline behaved. Node-time is base-relative — the controller is
+// allowed to spend a little more to hold QoS, but a double-digit cost
+// regression means the scaling policy (or the warm-up model) broke.
+type AutoscaleTrendOptions struct {
+	// GoodputFloor is the absolute goodput every elastic scenario must hold
+	// (default 0.98 — the same floor `make chaos` asserts).
+	GoodputFloor float64
+	// MaxNodeMSGrowth is the largest tolerated relative node-time increase
+	// against the base artifact (default 0.10 = 10%).
+	MaxNodeMSGrowth float64
+}
+
+func (o AutoscaleTrendOptions) withDefaults() AutoscaleTrendOptions {
+	if o.GoodputFloor <= 0 {
+		o.GoodputFloor = 0.98
+	}
+	if o.MaxNodeMSGrowth <= 0 {
+		o.MaxNodeMSGrowth = 0.10
+	}
+	return o
+}
+
+// CompareAutoscaleTrend diffs two autoscale artifacts scenario by scenario:
+// a scenario dropped from the suite, head goodput under the absolute floor,
+// or node-time growth beyond the tolerance. Issues come back in base order.
+func CompareAutoscaleTrend(base, head AutoscaleArtifact, opts AutoscaleTrendOptions) []TrendIssue {
+	opts = opts.withDefaults()
+	byName := make(map[string]AutoscaleSummary, len(head.Scenarios))
+	for _, s := range head.Scenarios {
+		byName[s.Name] = s
+	}
+	var issues []TrendIssue
+	for _, b := range base.Scenarios {
+		h, ok := byName[b.Name]
+		if !ok {
+			issues = append(issues, TrendIssue{Scenario: b.Name, Metric: "missing"})
+			continue
+		}
+		if h.Goodput < opts.GoodputFloor {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "goodput_floor", Base: opts.GoodputFloor, Head: h.Goodput,
+			})
+		}
+		if b.NodeMS > 0 && (h.NodeMS-b.NodeMS)/b.NodeMS > opts.MaxNodeMSGrowth {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "node_ms", Base: b.NodeMS, Head: h.NodeMS,
+			})
+		}
+	}
+	return issues
+}
+
 // PredictBench is one Go benchmark result inside BENCH_predict.json — the
 // prediction-hot-path microbenchmarks (MLP batched forward, span search,
 // gateway round).

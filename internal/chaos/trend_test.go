@@ -291,3 +291,85 @@ func TestTrendOnLiveSuite(t *testing.T) {
 		t.Fatalf("artifact not trend-clean against itself: %v", issues)
 	}
 }
+
+func asArt(rows ...AutoscaleSummary) AutoscaleArtifact { return AutoscaleArtifact{Scenarios: rows} }
+
+func asRow(name string, goodput, nodeMS float64) AutoscaleSummary {
+	return AutoscaleSummary{Name: name, Goodput: goodput, NodeMS: nodeMS, StaticPeakNodeMS: nodeMS * 1.5, SavedFrac: 1.0 / 3}
+}
+
+func TestCompareAutoscaleTrend(t *testing.T) {
+	base := asArt(asRow("diurnal-autoscale", 0.999, 480_000))
+
+	// Identical artifacts are clean.
+	if issues := CompareAutoscaleTrend(base, base, AutoscaleTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("identical artifacts flagged: %v", issues)
+	}
+
+	// The goodput gate is an absolute floor, not base-relative: head under
+	// 0.98 flags even though the drop from base is small.
+	head := asArt(asRow("diurnal-autoscale", 0.975, 480_000))
+	issues := CompareAutoscaleTrend(base, head, AutoscaleTrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "goodput_floor" {
+		t.Fatalf("want one goodput_floor issue, got %v", issues)
+	}
+
+	// Node-time growth beyond 10% flags; within it does not.
+	head = asArt(asRow("diurnal-autoscale", 0.999, 540_000))
+	issues = CompareAutoscaleTrend(base, head, AutoscaleTrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "node_ms" {
+		t.Fatalf("want one node_ms issue at 12.5%% growth, got %v", issues)
+	}
+	head = asArt(asRow("diurnal-autoscale", 0.999, 520_000))
+	if issues := CompareAutoscaleTrend(base, head, AutoscaleTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("8%% node-time growth flagged: %v", issues)
+	}
+
+	// Custom tolerances override the defaults.
+	head = asArt(asRow("diurnal-autoscale", 0.97, 500_000))
+	issues = CompareAutoscaleTrend(base, head, AutoscaleTrendOptions{GoodputFloor: 0.96, MaxNodeMSGrowth: 0.03})
+	if len(issues) != 1 || issues[0].Metric != "node_ms" {
+		t.Fatalf("want one node_ms issue under custom tolerances, got %v", issues)
+	}
+
+	// A scenario dropped from the suite is a regression.
+	issues = CompareAutoscaleTrend(base, asArt(asRow("other", 1, 1)), AutoscaleTrendOptions{})
+	if len(issues) != 1 || issues[0].Metric != "missing" {
+		t.Fatalf("want one missing issue, got %v", issues)
+	}
+}
+
+func TestParseAutoscaleArtifactRoundTrip(t *testing.T) {
+	a := AutoscaleArtifact{WallSeconds: 8.5, Scenarios: []AutoscaleSummary{asRow("diurnal-autoscale", 0.999, 480_000)}}
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAutoscaleArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenarios[0] != a.Scenarios[0] {
+		t.Fatalf("round trip mangled the row: %+v vs %+v", got.Scenarios[0], a.Scenarios[0])
+	}
+	if _, err := ParseAutoscaleArtifact([]byte(`{"scenarios":[]}`)); err == nil {
+		t.Error("empty artifact accepted")
+	}
+	if _, err := ParseAutoscaleArtifact([]byte(`not json`)); err == nil {
+		t.Error("malformed artifact accepted")
+	}
+}
+
+func TestAutoscaleSummaryOfLiveReport(t *testing.T) {
+	rep := mustRun(t, "diurnal-autoscale")
+	row, ok := AutoscaleSummaryOf(rep)
+	if !ok {
+		t.Fatal("elastic report yielded no summary")
+	}
+	if row.Name != "diurnal-autoscale" || row.Goodput != rep.Goodput || row.NodeMS != rep.Autoscale.NodeMS {
+		t.Fatalf("summary does not mirror the report: %+v", row)
+	}
+	if _, ok := AutoscaleSummaryOf(&Report{Name: "fixed"}); ok {
+		t.Error("fixed-fleet report yielded a summary")
+	}
+}

@@ -15,3 +15,20 @@ func LeastLoaded(candidates []int, load func(int) float64) int {
 	}
 	return best
 }
+
+// Pick is the allocation-free form of LeastLoaded for callers that already
+// hold a dense candidate slice: it returns the index i in [0, n) minimizing
+// load(i), ties toward the smallest index. With an elastic fleet the
+// routable set changes at runtime, so routers filter into a scratch slice
+// and pick over positions instead of materializing an index permutation.
+// n must be positive.
+func Pick(n int, load func(int) float64) int {
+	best := 0
+	bestLoad := load(0)
+	for i := 1; i < n; i++ {
+		if l := load(i); l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	return best
+}

@@ -174,6 +174,23 @@ func (b *Bridge) Flush() error {
 	return b.Do(func() { b.eng.Run() })
 }
 
+// Retire gracefully ends the bridge's life: in-flight virtual work completes
+// immediately (Flush), then the loop is stopped. It returns the final virtual
+// instant — the node's terminal clock reading, closing its lifetime window
+// for node-time accounting. This is the node-retirement primitive for the
+// elastic autoscaler: after Retire the engine is quiescent and owned by the
+// caller again, with every query answered and no events pending.
+//
+// If the bridge was already stopped (for example a gateway-wide Drain raced
+// the retirement), the flush reports ErrStopped and the engine may still
+// hold unfired events; the returned time is the last published clock either
+// way. Retire is idempotent.
+func (b *Bridge) Retire() (sim.Time, error) {
+	err := b.Flush()
+	b.Stop()
+	return b.Now(), err
+}
+
 // loop is the bridge's event loop: fire everything due by the wall-derived
 // virtual target, then sleep until the next event is due or work is
 // injected.

@@ -201,6 +201,41 @@ func renderMetrics(st Statz) []byte {
 		}
 	}
 
+	if st.Autoscale != nil {
+		as := st.Autoscale
+		head("abacus_autoscale_target_nodes", "gauge", "Fleet size the controller currently wants.")
+		emit("abacus_autoscale_target_nodes %d\n", as.TargetNodes)
+
+		head("abacus_autoscale_nodes", "gauge", "Live nodes by lifecycle phase.")
+		emit("abacus_autoscale_nodes{phase=\"warming\"} %d\n", as.WarmingNodes)
+		emit("abacus_autoscale_nodes{phase=\"active\"} %d\n", as.ActiveNodes)
+		emit("abacus_autoscale_nodes{phase=\"draining\"} %d\n", as.DrainingNodes)
+
+		head("abacus_autoscale_retired_nodes_total", "counter", "Nodes drained and retired over the gateway's life.")
+		emit("abacus_autoscale_retired_nodes_total %d\n", as.RetiredNodes)
+
+		head("abacus_autoscale_peak_nodes", "gauge", "Largest live fleet seen so far.")
+		emit("abacus_autoscale_peak_nodes %d\n", as.PeakNodes)
+
+		head("abacus_autoscale_scale_actions_total", "counter", "Node-level scale actions by direction.")
+		emit("abacus_autoscale_scale_actions_total{direction=\"out\"} %d\n", as.ScaleOuts)
+		emit("abacus_autoscale_scale_actions_total{direction=\"in\"} %d\n", as.ScaleIns)
+
+		head("abacus_autoscale_held_total", "counter", "Scale actions suppressed, by guard.")
+		emit("abacus_autoscale_held_total{guard=\"hysteresis\"} %d\n", as.HeldHysteresis)
+		emit("abacus_autoscale_held_total{guard=\"cooldown\"} %d\n", as.HeldCooldown)
+		emit("abacus_autoscale_held_total{guard=\"max_nodes\"} %d\n", as.HeldMaxNodes)
+
+		head("abacus_autoscale_ticks_total", "counter", "Control-loop observations.")
+		emit("abacus_autoscale_ticks_total %d\n", as.Ticks)
+
+		head("abacus_autoscale_node_ms_total", "counter", "Cumulative node lifetime, virtual ms.")
+		emit("abacus_autoscale_node_ms_total %s\n", promFloat(as.NodeMS))
+
+		head("abacus_autoscale_forecast_qps", "gauge", "EWMA offered-load forecast, virtual QPS.")
+		emit("abacus_autoscale_forecast_qps %s\n", promFloat(as.ForecastQPS))
+	}
+
 	if st.Calibration != nil {
 		cal := 0
 		if st.Calibration.Enabled {

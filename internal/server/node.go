@@ -44,6 +44,11 @@ type node struct {
 	loadMS   atomic.Uint64 // predicted backlog, float64 bits
 	degraded []atomic.Bool // per-local-service drift detector state
 
+	// unroutable flips once the autoscaler starts draining the node: the
+	// router stops picking it and sticky RequestIDs remap to live replicas.
+	// Never set on fixed fleets.
+	unroutable atomic.Bool
+
 	// Admission mailbox: handler goroutines enqueue admitMsgs here and a
 	// per-node combiner goroutine (admitLoop, started by Server.Start) flows
 	// whole batches through one bridge injection — one loop round trip per
@@ -173,6 +178,14 @@ func (n *node) enqueue(m *admitMsg) bool {
 	}
 	n.mboxMu.Unlock()
 	return true
+}
+
+// mailboxIdle reports whether no admission request is queued. Used by the
+// autoscaler's drain to decide the node has gone quiescent.
+func (n *node) mailboxIdle() bool {
+	n.mboxMu.Lock()
+	defer n.mboxMu.Unlock()
+	return len(n.mbox) == 0
 }
 
 // stopMailbox shuts the mailbox down: queued messages are answered as

@@ -42,6 +42,8 @@ import (
 	"abacus/internal/dnn"
 	"abacus/internal/gpusim"
 	"abacus/internal/predictor"
+	"abacus/internal/realtime"
+	"abacus/internal/scaler"
 	"abacus/internal/sched"
 	"abacus/internal/stats"
 	"abacus/internal/trace"
@@ -118,6 +120,14 @@ type Config struct {
 	// the owning node's loop goroutine at admission time, so captured times
 	// are the exact virtual instants admission reasoned about.
 	Capture *trace.Capture
+	// Autoscale, when non-nil, turns the fixed fleet into a live elastic one:
+	// the gateway starts at MinNodes replicated nodes (every node hosts all
+	// of Models), a wall-clock control loop observes offered QPS every
+	// IntervalMS of virtual time, and nodes are added (warm-up probe trickle
+	// first) and drained (gracefully, with a terminal stats snapshot) as
+	// demand moves. Requires the derived replicated placement (Placement nil),
+	// Nodes zero or equal to MinNodes, and wall pacing (not Unpaced).
+	Autoscale *scaler.Config
 	// StatShards is how many mutexes guard the per-service outcome counters
 	// (service i hashes to shard i mod StatShards). The default (0) gives
 	// every service its own shard, so two services' handlers never contend
@@ -169,6 +179,20 @@ type Server struct {
 	// serialize on stats accounting; shard count 1 is the old global lock.
 	statMu []sync.Mutex
 	svc    []*svcStats
+
+	// Elastic-autoscale state (see scale.go); ctrl is nil when Autoscale is
+	// off and none of the rest is touched. The controller itself is not
+	// goroutine-safe: every use sits under scaleMu. epoch is written once in
+	// Start before any scaling goroutine exists.
+	ctrl      *scaler.Controller
+	scaleMu   sync.Mutex
+	fleet     atomic.Pointer[elasticFleet]
+	epoch     time.Time
+	arrivals  atomic.Int64 // offered queries since the last control tick
+	scaleStop chan struct{}
+	scaleDone chan struct{}
+	stopScale sync.Once
+	retiredSt []NodeStatz // terminal snapshots of retired nodes
 }
 
 // statLock returns the mutex shard guarding service svc's counters.
@@ -305,6 +329,28 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Nodes < 0 {
 		return nil, fmt.Errorf("server: %d nodes", cfg.Nodes)
 	}
+	var ctrl *scaler.Controller
+	if cfg.Autoscale != nil {
+		var err error
+		if ctrl, err = scaler.New(*cfg.Autoscale); err != nil {
+			return nil, err
+		}
+		min := ctrl.Config().MinNodes
+		if cfg.Placement != nil {
+			return nil, fmt.Errorf("server: autoscale requires the derived replicated placement, not a pinned one")
+		}
+		if cfg.Nodes != 1 && cfg.Nodes != min {
+			return nil, fmt.Errorf("server: autoscale starts at MinNodes %d, not Nodes %d", min, cfg.Nodes)
+		}
+		cfg.Nodes = min
+		if len(cfg.Models) > predictor.MaxCoLocated {
+			return nil, fmt.Errorf("server: autoscale replicates all %d models per node, exceeding the co-location degree %d",
+				len(cfg.Models), predictor.MaxCoLocated)
+		}
+		if cfg.Speedup == realtime.Unpaced || math.IsInf(cfg.Speedup, 1) {
+			return nil, fmt.Errorf("server: autoscale needs wall pacing, not Unpaced")
+		}
+	}
 	if cfg.Placement != nil && len(cfg.Placement) != cfg.Nodes {
 		return nil, fmt.Errorf("server: placement covers %d nodes, want %d", len(cfg.Placement), cfg.Nodes)
 	}
@@ -349,6 +395,15 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	place := placement(cfg, gpusim.A100Profile())
+	if ctrl != nil {
+		// Elastic fleets are uniform: every node (founder or added later)
+		// hosts every model, so any replica can absorb any query when a
+		// sibling drains away.
+		place = make([][]dnn.ModelID, cfg.Nodes)
+		for i := range place {
+			place[i] = cfg.Models
+		}
+	}
 	s.hosts = make([][]hostRef, len(cfg.Models))
 	s.qos = make([]float64, len(cfg.Models))
 	s.probes = make([]atomic.Int64, len(cfg.Models))
@@ -389,6 +444,12 @@ func New(cfg Config) (*Server, error) {
 		s.qos[g] = s.nodes[r.node].rt.Services()[r.local].QoS
 	}
 
+	s.ctrl = ctrl
+	if ctrl != nil {
+		s.scaleStop = make(chan struct{})
+		s.scaleDone = make(chan struct{})
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/infer", s.handleInfer)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -410,10 +471,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // so the per-GPU virtual clocks share a wall origin, plus each node's
 // admission combiner. Call once, before serving traffic.
 func (s *Server) Start() {
-	epoch := time.Now()
+	s.epoch = time.Now()
 	for _, n := range s.nodes {
-		n.bridge.StartAnchored(epoch)
+		n.bridge.StartAnchored(s.epoch)
 		go n.admitLoop(s)
+	}
+	if s.ctrl != nil {
+		founders := append([]*node(nil), s.nodes...)
+		s.fleet.Store(&elasticFleet{all: founders, active: founders})
+		go s.scaleLoop()
 	}
 }
 
@@ -427,16 +493,27 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // their callers.
 func (s *Server) Drain() {
 	s.draining.Store(true)
+	nodes := s.nodes
+	if s.ctrl != nil {
+		// Stop the control loop first so no node is added or drained while
+		// the gateway shuts down; then drain every node ever built (retired
+		// bridges answer ErrStopped, which is fine).
+		s.stopScale.Do(func() {
+			close(s.scaleStop)
+			<-s.scaleDone
+		})
+		nodes = s.fleet.Load().all
+	}
 	// Flush completes all admitted queries immediately in virtual time; the
 	// sinks close their done channels, unblocking every waiting handler.
 	// ErrStopped just means a previous Drain already won.
-	for _, n := range s.nodes {
+	for _, n := range nodes {
 		_ = n.bridge.Flush()
 		n.bridge.Stop()
 	}
 	// With the bridges stopped no admission can succeed; shut the mailboxes
 	// so queued and future enqueues answer as draining and admitLoop exits.
-	for _, n := range s.nodes {
+	for _, n := range nodes {
 		n.stopMailbox()
 	}
 }
@@ -588,6 +665,9 @@ func (s *Server) localOn(svc, id int) (int, bool) {
 // least-loaded healthy replica. migrated reports that a degraded replica
 // was skipped — the fault-driven migration the chaos suite pins.
 func (s *Server) route(svc int, requestID string) (n *node, local int, migrated bool) {
+	if s.ctrl != nil {
+		return s.routeElastic(svc, requestID)
+	}
 	if requestID != "" {
 		if v, ok := s.routes.Load(requestID); ok {
 			if l, hosts := s.localOn(svc, v.(int)); hosts {
@@ -679,6 +759,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		writeInfer(w, sc, http.StatusServiceUnavailable, &resp)
 		return
 	}
+	if s.ctrl != nil {
+		// Offered load for the control loop: every valid, non-draining
+		// arrival counts, whatever admission later decides.
+		s.arrivals.Add(1)
+	}
 
 	n, local, migrated := s.route(svcIdx, requestID)
 	storedRoute := false
@@ -688,7 +773,17 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		if v, loaded := s.routes.LoadOrStore(requestID, n.id); !loaded {
 			storedRoute = true
 		} else if owner := v.(int); owner != n.id {
-			if l, hosts := s.localOn(svcIdx, owner); hosts {
+			if s.ctrl != nil {
+				// A concurrent duplicate pinned the ID elsewhere; follow it
+				// while the owner is routable, otherwise re-pin to the
+				// replica we picked (best-effort, like the static path).
+				if fl := s.fleet.Load(); owner < len(fl.all) && !fl.all[owner].unroutable.Load() {
+					n, local, migrated = fl.all[owner], svcIdx, false
+				} else {
+					s.routes.Store(requestID, n.id)
+					storedRoute = true
+				}
+			} else if l, hosts := s.localOn(svcIdx, owner); hosts {
 				n, local, migrated = s.nodes[owner], l, false
 			}
 		}
@@ -864,8 +959,16 @@ type Statz struct {
 	// Faults are gateway-wide fault counters.
 	Faults   FaultStatz     `json:"faults"`
 	Services []ServiceStatz `json:"services"`
-	// Nodes is the per-node detail, one entry per serving node.
+	// Nodes is the per-node detail, one entry per serving node. Under
+	// autoscale it covers the live fleet (warming, active, and draining
+	// nodes), each tagged with its Phase.
 	Nodes []NodeStatz `json:"nodes,omitempty"`
+	// Autoscale is the elastic control-loop state; nil for fixed fleets.
+	Autoscale *AutoscaleStatz `json:"autoscale,omitempty"`
+	// RetiredNodes are the terminal snapshots of nodes the autoscaler
+	// drained: their counters stop at retirement instead of diluting the
+	// live rows.
+	RetiredNodes []NodeStatz `json:"retired_nodes,omitempty"`
 }
 
 // FaultStatz counts the faults the gateway has absorbed.
@@ -906,11 +1009,14 @@ type ServiceStatz struct {
 // gathered in a single injection on the node's loop goroutine, so the
 // snapshot is internally consistent.
 type NodeStatz struct {
-	Node          int      `json:"node"`
-	Models        []string `json:"models"`
-	NowMS         float64  `json:"now_ms"`
-	BacklogPredMS float64  `json:"backlog_pred_ms"`
-	QueueDepth    int      `json:"queue_depth"`
+	Node   int      `json:"node"`
+	Models []string `json:"models"`
+	// Phase is the node's autoscale lifecycle phase (warming, active,
+	// draining, retired); empty on fixed fleets.
+	Phase         string  `json:"phase,omitempty"`
+	NowMS         float64 `json:"now_ms"`
+	BacklogPredMS float64 `json:"backlog_pred_ms"`
+	QueueDepth    int     `json:"queue_depth"`
 	// Routed counts admissions the router sent here; MigratedIn counts the
 	// subset routed here because a degraded sibling was skipped.
 	Routed               int64                `json:"routed"`
@@ -1062,15 +1168,27 @@ func mergePredictCache(nodes []NodeStatz) *predictor.MemoStats {
 // node 0's state through verbatim so pre-sharding consumers see identical
 // numbers.
 func (s *Server) statz() Statz {
-	nodeSt := make([]NodeStatz, len(s.nodes))
-	for i, n := range s.nodes {
+	nodes := s.nodes
+	var phases []string
+	var as *AutoscaleStatz
+	var retired []NodeStatz
+	if s.ctrl != nil {
+		nodes, phases, as, retired = s.autoscaleStatz()
+	}
+	nodeSt := make([]NodeStatz, len(nodes))
+	for i, n := range nodes {
 		nodeSt[i] = s.nodeStatz(n)
+		if phases != nil {
+			nodeSt[i].Phase = phases[i]
+		}
 	}
 
 	out := Statz{
-		Speedup:  s.cfg.Speedup,
-		Draining: s.draining.Load(),
-		Nodes:    nodeSt,
+		Speedup:      s.cfg.Speedup,
+		Draining:     s.draining.Load(),
+		Nodes:        nodeSt,
+		Autoscale:    as,
+		RetiredNodes: retired,
 	}
 	var duplicates int64
 	for _, n := range nodeSt {
