@@ -8,7 +8,7 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2025.1
 
-.PHONY: all build vet fmt-check tidy-check lint test test-short test-race bench bench-json bench-predict bench-http bench-autoscale chaos trend workload examples ci
+.PHONY: all build vet fmt-check tidy-check lint test test-short test-race bench bench-json bench-predict bench-http bench-sim bench-autoscale chaos trend workload examples ci
 
 all: build
 
@@ -72,6 +72,13 @@ bench-predict:
 bench-http:
 	$(GO) run ./cmd/abacus-httpbench -o BENCH_http.json
 
+# Simulation hot-path benchmarks: event schedule/fire, heap churn,
+# overlapped kernel chains, and a full executor group cycle. Allocation-free
+# in steady state by construction (PR 10); the trend gate holds allocs/op
+# tightly so the floor cannot quietly erode.
+bench-sim:
+	$(GO) run ./cmd/abacus-simbench -o BENCH_sim.json
+
 # Elastic-autoscaler benchmark: the diurnal-autoscale scenario distilled
 # into the trend artifact abacus-trend gates on — goodput held to an
 # absolute 0.98 floor, node-milliseconds (the cost the scaler exists to
@@ -88,7 +95,7 @@ bench-autoscale:
 # command (so they are skipped against pre-artifact history).
 TREND_BASE ?= origin/main
 
-trend: bench-json bench-predict bench-http bench-autoscale
+trend: bench-json bench-predict bench-http bench-sim bench-autoscale
 	@set -e; \
 	tmp=$$(mktemp -d); \
 	trap 'git worktree remove --force "$$tmp" 2>/dev/null || rm -rf "$$tmp"' EXIT; \
@@ -105,7 +112,13 @@ trend: bench-json bench-predict bench-http bench-autoscale
 	if [ -d "$$tmp/cmd/abacus-httpbench" ]; then \
 		(cd "$$tmp" && $(GO) run ./cmd/abacus-httpbench -o HTTP_base.json >/dev/null); \
 		mv "$$tmp/HTTP_base.json" HTTP_base.json; \
-		http_flags="-http-base HTTP_base.json -http-head BENCH_http.json"; \
+		http_flags="-http-base HTTP_base.json -http-head BENCH_http.json -max-http-allocs 300"; \
+	fi; \
+	sim_flags=""; \
+	if [ -d "$$tmp/cmd/abacus-simbench" ]; then \
+		(cd "$$tmp" && $(GO) run ./cmd/abacus-simbench -o SIM_base.json >/dev/null); \
+		mv "$$tmp/SIM_base.json" SIM_base.json; \
+		sim_flags="-sim-base SIM_base.json -sim-head BENCH_sim.json"; \
 	fi; \
 	autoscale_flags=""; \
 	if grep -qs autoscale-out "$$tmp/cmd/abacus-chaos/main.go"; then \
@@ -113,7 +126,7 @@ trend: bench-json bench-predict bench-http bench-autoscale
 		mv "$$tmp/AUTOSCALE_base.json" AUTOSCALE_base.json; \
 		autoscale_flags="-autoscale-base AUTOSCALE_base.json -autoscale-head BENCH_autoscale.json"; \
 	fi; \
-	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags $$http_flags $$autoscale_flags
+	$(GO) run ./cmd/abacus-trend -base BENCH_base.json -head BENCH_gateway.json $$predict_flags $$http_flags $$sim_flags $$autoscale_flags
 
 # Run the built-in fault suite and hold the recovery scenarios to their QoS
 # floor (the throttle50 baseline intentionally fails it, so the floor is

@@ -16,6 +16,11 @@
 // component allocs/op are gated tightly; peak QPS and ns/op are wall-clock
 // figures gated generously, catching collapses rather than noise.
 //
+// With -sim-base/-sim-head it also diffs the simulation hot-path artifacts
+// (BENCH_sim.json, see abacus-simbench): allocs/op is deterministic — the
+// hot path is allocation-free in steady state — and gated tightly, ns/op
+// collapse-only.
+//
 // With -autoscale-base/-autoscale-head it also diffs the elastic-autoscaler
 // artifacts (BENCH_autoscale.json, see abacus-chaos -autoscale-out): goodput
 // is held to an absolute floor (a PR may not ship an autoscaler below the
@@ -49,12 +54,15 @@ func main() {
 	predictHead := flag.String("predict-head", "BENCH_predict.json", "candidate prediction hot-path artifact")
 	httpBase := flag.String("http-base", "", "baseline HTTP ingest artifact (enables the http gate)")
 	httpHead := flag.String("http-head", "BENCH_http.json", "candidate HTTP ingest artifact")
+	simBase := flag.String("sim-base", "", "baseline simulation hot-path artifact (enables the sim gate)")
+	simHead := flag.String("sim-head", "BENCH_sim.json", "candidate simulation hot-path artifact")
 	autoscaleBase := flag.String("autoscale-base", "", "baseline autoscale artifact (enables the autoscale gate)")
 	autoscaleHead := flag.String("autoscale-head", "BENCH_autoscale.json", "candidate autoscale artifact")
 	goodputFloor := flag.Float64("autoscale-goodput-floor", 0, "absolute goodput floor every elastic scenario must meet (default 0.98)")
 	maxNodeMSGrowth := flag.Float64("max-node-ms-growth", 0, "largest tolerated relative node-milliseconds increase in the autoscale artifact (default 0.10)")
 	maxQPSDrop := flag.Float64("max-qps-drop", 0, "largest tolerated relative peak-QPS decrease in the http artifact (default 0.50)")
 	maxHTTPAllocsGrowth := flag.Float64("max-http-allocs-growth", 0, "largest tolerated relative allocs-per-request increase in the http artifact (default 0.10)")
+	maxHTTPAllocs := flag.Float64("max-http-allocs", 0, "absolute allocs-per-request ceiling in the http artifact (0 disables)")
 	maxGoodputDrop := flag.Float64("max-goodput-drop", 0, "largest tolerated absolute goodput decrease (default 0.005)")
 	maxP99Growth := flag.Float64("max-p99-growth", 0, "largest tolerated relative p99 increase (default 0.10)")
 	maxShedGrowth := flag.Float64("max-shed-growth", 0, "largest tolerated relative per-service degraded-shed increase (default 0.10)")
@@ -99,11 +107,20 @@ func main() {
 		hb := readHTTPArtifact(*httpBase)
 		hh := readHTTPArtifact(*httpHead)
 		issues = append(issues, chaos.CompareHTTPTrend(hb, hh, chaos.HTTPTrendOptions{
-			MaxQPSDrop:      *maxQPSDrop,
-			MaxAllocsGrowth: *maxHTTPAllocsGrowth,
+			MaxQPSDrop:          *maxQPSDrop,
+			MaxAllocsGrowth:     *maxHTTPAllocsGrowth,
+			MaxAllocsPerRequest: *maxHTTPAllocs,
 		})...)
 		fmt.Printf("compared http ingest: base peak %.0f qps / %.1f allocs/req, head peak %.0f qps / %.1f allocs/req\n",
 			hb.PeakQPS, hb.AllocsPerRequest, hh.PeakQPS, hh.AllocsPerRequest)
+	}
+
+	if *simBase != "" {
+		sb := readSimArtifact(*simBase)
+		sh := readSimArtifact(*simHead)
+		issues = append(issues, chaos.CompareSimTrend(sb, sh, chaos.SimTrendOptions{})...)
+		fmt.Printf("compared %d base simulation benchmarks against %d head benchmarks\n",
+			len(sb.Benchmarks), len(sh.Benchmarks))
 	}
 
 	if *autoscaleBase != "" {
@@ -157,6 +174,18 @@ func readHTTPArtifact(path string) chaos.HTTPArtifact {
 		fail(err)
 	}
 	a, err := chaos.ParseHTTPArtifact(data)
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return a
+}
+
+func readSimArtifact(path string) chaos.SimArtifact {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	a, err := chaos.ParseSimArtifact(data)
 	if err != nil {
 		fail(fmt.Errorf("%s: %w", path, err))
 	}

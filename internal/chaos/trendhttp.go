@@ -83,6 +83,12 @@ type HTTPTrendOptions struct {
 	// MaxNsGrowth is the largest tolerated relative ns/op increase on the
 	// component benchmarks (default 0.50).
 	MaxNsGrowth float64
+	// MaxAllocsPerRequest, when positive, is an absolute ceiling on
+	// allocs-per-request regardless of the base: once a PR collapses the
+	// allocation cost (PR 10 took it from ~2.5k to a few dozen), the ceiling
+	// keeps later PRs from quietly ratcheting it back up under the relative
+	// tolerance. Zero disables the check.
+	MaxAllocsPerRequest float64
 }
 
 func (o HTTPTrendOptions) withDefaults() HTTPTrendOptions {
@@ -118,6 +124,12 @@ func CompareHTTPTrend(base, head HTTPArtifact, opts HTTPTrendOptions) []TrendIss
 		issues = append(issues, TrendIssue{
 			Scenario: "http", Metric: "allocs_per_request",
 			Base: base.AllocsPerRequest, Head: head.AllocsPerRequest,
+		})
+	}
+	if opts.MaxAllocsPerRequest > 0 && head.AllocsPerRequest > opts.MaxAllocsPerRequest {
+		issues = append(issues, TrendIssue{
+			Scenario: "http", Metric: "allocs_per_request_ceiling",
+			Base: opts.MaxAllocsPerRequest, Head: head.AllocsPerRequest,
 		})
 	}
 	byName := make(map[string]HTTPBench, len(head.Benchmarks))

@@ -1,0 +1,103 @@
+// Simulation hot-path benchmark artifact (BENCH_sim.json) and its trend
+// rules: cmd/abacus-simbench runs the engine and device microbenchmarks
+// (event schedule/fire, heap churn, overlapped kernel chains) via
+// testing.Benchmark. These are the substrate under every serving decision —
+// PR 10 made them allocation-free, and the trend gate holds the floor:
+// allocs/op is deterministic and gated tightly (10% + 2 absolute slack, so
+// a 0-alloc baseline flags on +3), ns/op generously (collapse-only, since
+// wall time on shared CI runners is noisy).
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// SimBench is one simulation hot-path microbenchmark result, in
+// testing.Benchmark units.
+type SimBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// SimArtifact is the BENCH_sim.json shape, uploaded by the bench lane next
+// to BENCH_http.json and diffed by abacus-trend.
+type SimArtifact struct {
+	// WallSeconds is wall-clock and ignored by trend comparison.
+	WallSeconds float64    `json:"wall_seconds,omitempty"`
+	Benchmarks  []SimBench `json:"benchmarks"`
+}
+
+// ParseSimArtifact decodes a simulation benchmark artifact.
+func ParseSimArtifact(data []byte) (SimArtifact, error) {
+	var a SimArtifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return SimArtifact{}, fmt.Errorf("chaos: parsing sim artifact: %w", err)
+	}
+	if len(a.Benchmarks) == 0 {
+		return SimArtifact{}, fmt.Errorf("chaos: sim artifact has no benchmarks")
+	}
+	return a, nil
+}
+
+// SimTrendOptions sets the simulation hot-path regression tolerances. The
+// zero value takes the defaults.
+type SimTrendOptions struct {
+	// MaxAllocsGrowth is the largest tolerated relative allocs/op increase
+	// (default 0.10 — allocation counts are deterministic, so this is the
+	// tight tripwire).
+	MaxAllocsGrowth float64
+	// AllocSlack is the absolute allocs/op allowance on top of
+	// MaxAllocsGrowth, so the 0-alloc baselines do not flag on +1 jitter
+	// from the runtime (default 2).
+	AllocSlack float64
+	// MaxNsGrowth is the largest tolerated relative ns/op increase
+	// (default 1.0 = 100%: collapse-only, shared CI runners are noisy).
+	MaxNsGrowth float64
+}
+
+func (o SimTrendOptions) withDefaults() SimTrendOptions {
+	if o.MaxAllocsGrowth <= 0 {
+		o.MaxAllocsGrowth = 0.10
+	}
+	if o.AllocSlack <= 0 {
+		o.AllocSlack = 2
+	}
+	if o.MaxNsGrowth <= 0 {
+		o.MaxNsGrowth = 1.0
+	}
+	return o
+}
+
+// CompareSimTrend diffs two simulation benchmark artifacts: allocs/op
+// growth beyond the tight tolerance and ns/op growth beyond the generous
+// one, per benchmark, plus benchmarks that disappeared. Issues come back in
+// base benchmark order.
+func CompareSimTrend(base, head SimArtifact, opts SimTrendOptions) []TrendIssue {
+	opts = opts.withDefaults()
+	var issues []TrendIssue
+	byName := make(map[string]SimBench, len(head.Benchmarks))
+	for _, b := range head.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, b := range base.Benchmarks {
+		h, ok := byName[b.Name]
+		if !ok {
+			issues = append(issues, TrendIssue{Scenario: b.Name, Metric: "missing"})
+			continue
+		}
+		if h.AllocsPerOp > b.AllocsPerOp*(1+opts.MaxAllocsGrowth)+opts.AllocSlack {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "allocs_per_op", Base: b.AllocsPerOp, Head: h.AllocsPerOp,
+			})
+		}
+		if b.NsPerOp > 0 && (h.NsPerOp-b.NsPerOp)/b.NsPerOp > opts.MaxNsGrowth {
+			issues = append(issues, TrendIssue{
+				Scenario: b.Name, Metric: "ns_per_op", Base: b.NsPerOp, Head: h.NsPerOp,
+			})
+		}
+	}
+	return issues
+}

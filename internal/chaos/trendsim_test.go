@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func simBase() SimArtifact {
+	return SimArtifact{
+		Benchmarks: []SimBench{
+			{Name: "BenchmarkEngineSchedule", NsPerOp: 25, AllocsPerOp: 0},
+			{Name: "BenchmarkDeviceOverlap", NsPerOp: 1000, AllocsPerOp: 0},
+		},
+	}
+}
+
+func TestCompareSimTrendClean(t *testing.T) {
+	base := simBase()
+	head := simBase()
+	// Noise-sized wobble must pass: ns/op up 80%, +2 allocs of runtime jitter.
+	head.Benchmarks[0].NsPerOp = 45
+	head.Benchmarks[1].AllocsPerOp = 2
+	if issues := CompareSimTrend(base, head, SimTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("unexpected issues: %v", issues)
+	}
+}
+
+func TestCompareSimTrendRegressions(t *testing.T) {
+	base := simBase()
+	head := simBase()
+	head.Benchmarks[0].AllocsPerOp = 5    // hot path allocates again
+	head.Benchmarks[0].NsPerOp = 80       // > 2×: collapse
+	head.Benchmarks = head.Benchmarks[:1] // device benchmark dropped
+	issues := CompareSimTrend(base, head, SimTrendOptions{})
+	want := map[string]bool{
+		"BenchmarkEngineSchedule/allocs_per_op": false,
+		"BenchmarkEngineSchedule/ns_per_op":     false,
+		"BenchmarkDeviceOverlap/missing":        false,
+	}
+	for _, i := range issues {
+		key := i.Scenario + "/" + i.Metric
+		if _, ok := want[key]; !ok {
+			t.Errorf("unexpected issue %v", i)
+			continue
+		}
+		want[key] = true
+	}
+	for key, seen := range want {
+		if !seen {
+			t.Errorf("missing expected issue %s", key)
+		}
+	}
+}
+
+func TestCompareHTTPTrendAbsoluteCeiling(t *testing.T) {
+	base := httpBase()
+	head := httpBase()
+	// A slow ratchet under the relative gate: base was already bloated, head
+	// grows within 10%+2 — only the absolute ceiling catches it.
+	base.AllocsPerRequest = 280
+	head.AllocsPerRequest = 305
+	if issues := CompareHTTPTrend(base, head, HTTPTrendOptions{}); len(issues) != 0 {
+		t.Fatalf("relative gate should tolerate 280 -> 305: %v", issues)
+	}
+	issues := CompareHTTPTrend(base, head, HTTPTrendOptions{MaxAllocsPerRequest: 300})
+	if len(issues) != 1 || issues[0].Metric != "allocs_per_request_ceiling" {
+		t.Fatalf("want one allocs_per_request_ceiling issue, got %v", issues)
+	}
+	head.AllocsPerRequest = 299
+	if issues := CompareHTTPTrend(base, head, HTTPTrendOptions{MaxAllocsPerRequest: 300}); len(issues) != 0 {
+		t.Fatalf("head under the ceiling should pass: %v", issues)
+	}
+}
+
+func TestParseSimArtifactRoundTrip(t *testing.T) {
+	data, err := json.Marshal(simBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ParseSimArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Benchmarks) != 2 {
+		t.Fatalf("round trip mangled artifact: %+v", a)
+	}
+	if _, err := ParseSimArtifact([]byte(`{}`)); err == nil {
+		t.Fatal("empty artifact should be rejected")
+	}
+	if _, err := ParseSimArtifact([]byte(`not json`)); err == nil {
+		t.Fatal("garbage should be rejected")
+	}
+}

@@ -107,11 +107,21 @@ func Kernels(m *Model, in Input, p gpusim.Profile, start, end int) []gpusim.Kern
 	if start < 0 || end > len(m.Ops) || start > end {
 		panic("dnn: invalid operator span")
 	}
-	specs := make([]gpusim.KernelSpec, 0, end-start)
-	for i := start; i < end; i++ {
-		specs = append(specs, KernelFor(&m.Ops[i], in, p))
+	return AppendKernels(make([]gpusim.KernelSpec, 0, end-start), m, in, p, start, end)
+}
+
+// AppendKernels appends the span's kernel specs to dst and returns the
+// extended slice — the allocation-free variant of Kernels for callers that
+// pool their spec buffers (the executor reuses one per group span). It
+// panics on an invalid span.
+func AppendKernels(dst []gpusim.KernelSpec, m *Model, in Input, p gpusim.Profile, start, end int) []gpusim.KernelSpec {
+	if start < 0 || end > len(m.Ops) || start > end {
+		panic("dnn: invalid operator span")
 	}
-	return specs
+	for i := start; i < end; i++ {
+		dst = append(dst, KernelFor(&m.Ops[i], in, p))
+	}
+	return dst
 }
 
 // SpanWork returns the summed solo kernel duration of operators [start, end)

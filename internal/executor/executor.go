@@ -31,6 +31,23 @@ type Executor struct {
 	groups        int64
 	checkpointed  float64 // bytes of intermediate results currently saved
 	peakCheckpoin float64
+
+	// Pools: group-run records and kernel-spec buffers are recycled across
+	// groups so the issue → overlap → sync cycle allocates nothing in
+	// steady state (see DESIGN.md "Simulation hot path").
+	freeRuns  []*groupRun
+	freeSpecs [][]gpusim.KernelSpec
+}
+
+// groupRun tracks one in-flight group: the countdown of unfinished spans,
+// the caller's completion callback, and the pooled spec buffers to release
+// once the group synchronizes. It rides through the device's callback
+// machinery as a (func(any), arg) pair, so no closures are allocated.
+type groupRun struct {
+	ex        *Executor
+	remaining int
+	done      func()
+	specs     [][]gpusim.KernelSpec
 }
 
 // New returns an executor over the device. syncCost is the per-group
@@ -74,28 +91,71 @@ func (e *Executor) Execute(g predictor.Group, done func()) {
 	e.groups++
 	e.accountCheckpoints(g)
 
-	eng := e.dev.Engine()
-	remaining := len(g)
-	finish := func() {
-		eng.Schedule(e.syncCost, func() {
-			e.busy = false
-			done()
-		})
-	}
-	if remaining == 0 {
-		finish()
+	gr := e.getRun()
+	gr.remaining = len(g)
+	gr.done = done
+	if gr.remaining == 0 {
+		e.dev.Engine().ScheduleArg(e.syncCost, groupSync, gr)
 		return
 	}
 	for _, entry := range g {
 		m := dnn.Get(entry.Model)
-		specs := dnn.Kernels(m, entry.Input(), e.dev.Profile(), entry.OpStart, entry.OpEnd)
-		e.dev.RunChain(specs, func() {
-			remaining--
-			if remaining == 0 {
-				finish()
-			}
-		})
+		specs := dnn.AppendKernels(e.getSpecs(), m, entry.Input(), e.dev.Profile(), entry.OpStart, entry.OpEnd)
+		gr.specs = append(gr.specs, specs)
+		e.dev.RunChainArg(specs, groupSpanDone, gr)
 	}
+}
+
+// groupSpanDone fires when one span's kernel chain completes; the last span
+// arms the group's synchronization point.
+func groupSpanDone(a any) {
+	gr := a.(*groupRun)
+	gr.remaining--
+	if gr.remaining == 0 {
+		gr.ex.dev.Engine().ScheduleArg(gr.ex.syncCost, groupSync, gr)
+	}
+}
+
+// groupSync fires after the synchronization cost elapses: the run record and
+// its spec buffers return to the pool before the caller's callback runs, so
+// a callback that immediately issues the next group reuses them.
+func groupSync(a any) {
+	gr := a.(*groupRun)
+	ex, done := gr.ex, gr.done
+	ex.putRun(gr)
+	ex.busy = false
+	done()
+}
+
+func (e *Executor) getRun() *groupRun {
+	if n := len(e.freeRuns); n > 0 {
+		gr := e.freeRuns[n-1]
+		e.freeRuns[n-1] = nil
+		e.freeRuns = e.freeRuns[:n-1]
+		gr.ex = e
+		return gr
+	}
+	return &groupRun{ex: e}
+}
+
+func (e *Executor) putRun(gr *groupRun) {
+	for i, s := range gr.specs {
+		e.freeSpecs = append(e.freeSpecs, s[:0])
+		gr.specs[i] = nil
+	}
+	specs := gr.specs[:0]
+	*gr = groupRun{specs: specs}
+	e.freeRuns = append(e.freeRuns, gr)
+}
+
+func (e *Executor) getSpecs() []gpusim.KernelSpec {
+	if n := len(e.freeSpecs); n > 0 {
+		s := e.freeSpecs[n-1]
+		e.freeSpecs[n-1] = nil
+		e.freeSpecs = e.freeSpecs[:n-1]
+		return s
+	}
+	return nil
 }
 
 // accountCheckpoints updates the intermediate-result memory gauge: an entry

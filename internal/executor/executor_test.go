@@ -226,3 +226,55 @@ func TestIdenticalGroupsProduceIdenticalTimelines(t *testing.T) {
 		}
 	}
 }
+
+func TestGroupRunPoolReuse(t *testing.T) {
+	exec, eng := newExec(t, 0.05)
+	g := predictor.Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: 20, Batch: 8},
+		{Model: dnn.VGG16, OpStart: 0, OpEnd: 10, Batch: 4},
+	}
+	cycle := func() {
+		exec.Execute(g, func() {})
+		eng.Run()
+	}
+	cycle()
+	if len(exec.freeRuns) != 1 {
+		t.Fatalf("pool holds %d group runs after a group drained, want 1", len(exec.freeRuns))
+	}
+	if len(exec.freeSpecs) != 2 {
+		t.Fatalf("pool holds %d spec buffers after a 2-span group, want 2", len(exec.freeSpecs))
+	}
+	events := eng.AllocatedEvents()
+	cycle()
+	if got := eng.AllocatedEvents(); got != events {
+		t.Errorf("repeat group allocated %d new events, want 0", got-events)
+	}
+	if len(exec.freeRuns) != 1 || len(exec.freeSpecs) != 2 {
+		t.Errorf("repeat group grew pools to %d runs / %d spec buffers, want 1 / 2",
+			len(exec.freeRuns), len(exec.freeSpecs))
+	}
+}
+
+// TestExecuteSteadyStateAllocs pins the end-to-end win at the executor
+// layer: once pools are warm, issuing and draining a contended group is
+// nearly allocation-free. The only remaining allocations are the caller's
+// done-closure and dnn model/profile lookups, bounded well below one per
+// operator (a ResNet-50 + VGG-16 group runs ~30 kernels here).
+func TestExecuteSteadyStateAllocs(t *testing.T) {
+	exec, eng := newExec(t, 0.05)
+	g := predictor.Group{
+		{Model: dnn.ResNet50, OpStart: 0, OpEnd: 20, Batch: 8},
+		{Model: dnn.VGG16, OpStart: 0, OpEnd: 10, Batch: 4},
+	}
+	done := func() {}
+	cycle := func() {
+		exec.Execute(g, done)
+		eng.Run()
+	}
+	for i := 0; i < 3; i++ {
+		cycle()
+	}
+	if allocs := testing.AllocsPerRun(50, cycle); allocs > 2 {
+		t.Errorf("steady-state group execution allocated %v times per run, want <= 2", allocs)
+	}
+}

@@ -19,6 +19,12 @@
 //   - Optional seeded lognormal noise perturbs each launch to reproduce the
 //     small run-to-run jitter measured in §5.2.
 //
+// The hot path is allocation-free in steady state: kernels, chain cursors,
+// and stall records are pooled per device, the resident set is an ordered
+// slice (launch-sequence order, which also pins the float accumulation
+// order of the utilization integrals), and the rate computation runs on
+// reusable scratch buffers. Pool state is invisible to the virtual clock.
+//
 // MIG instances (§7.5) are devices with fractional SM/bandwidth capacity.
 package gpusim
 
@@ -26,7 +32,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"abacus/internal/sim"
 )
@@ -84,14 +90,36 @@ func A100Profile() Profile {
 	}
 }
 
-// kernel is a resident kernel's bookkeeping.
+// kernel is a resident kernel's bookkeeping. Kernel objects are pooled per
+// device; the done callback is stored as a (func(any), arg) pair so kernel
+// completion never requires a closure allocation.
 type kernel struct {
 	spec      KernelSpec
 	seq       int64    // launch order, for deterministic callback ordering
 	start     sim.Time // launch instant, for tracing
 	remaining float64  // work left, ms at full rate
 	rate      float64  // current progress rate in (0, 1]
-	done      func()
+	doneFn    func(any)
+	doneArg   any
+}
+
+// chain is a pooled cursor over a dependent kernel chain (RunChain): one
+// object per in-flight chain instead of one closure per step.
+type chain struct {
+	dev     *Device
+	specs   []KernelSpec
+	i       int
+	doneFn  func(any)
+	doneArg any
+}
+
+// stalledLaunch carries a deferred launch through an injected launch stall
+// without allocating a closure.
+type stalledLaunch struct {
+	dev  *Device
+	spec KernelSpec
+	fn   func(any)
+	arg  any
 }
 
 // Device is a (possibly partitioned) GPU executing kernels under contention.
@@ -103,9 +131,25 @@ type Device struct {
 	smCap   float64 // capacity in units of "fraction of a full device"
 	memCap  float64
 
-	running    map[*kernel]struct{}
+	// running is the resident set in ascending launch-sequence order. The
+	// fixed order makes the float accumulation in advance and computeRates
+	// deterministic (a map here would sum in random iteration order, making
+	// SMTime/Energy differ in the low bits across runs).
+	running    []*kernel
 	lastUpdate sim.Time
-	completion *sim.Event
+	completion sim.Handle
+
+	// Pools and scratch: recycled across launches so the steady-state
+	// launch/complete cycle allocates nothing.
+	freeKernels []*kernel
+	freeChains  []*chain
+	freeStalls  []*stalledLaunch
+	finished    []*kernel // onCompletion scratch
+	smDemand    []float64 // computeRates scratch
+	memDemand   []float64
+	smAlloc     []float64
+	memAlloc    []float64
+	shareOrder  []int // maxMinSharesInto scratch
 
 	// Fault-injection state (internal/chaos): degradation scales the
 	// effective capacity seen by computeRates without touching the nominal
@@ -144,7 +188,6 @@ func newDevice(eng *sim.Engine, profile Profile, smCap, memCap float64) *Device 
 		memCap:     memCap,
 		smDegrade:  1,
 		memDegrade: 1,
-		running:    make(map[*kernel]struct{}),
 		lastUpdate: eng.Now(),
 	}
 }
@@ -169,6 +212,22 @@ func (d *Device) SMCapacity() float64 { return d.smCap }
 // MemCapacity returns the device's bandwidth capacity as a fraction of a
 // full GPU.
 func (d *Device) MemCapacity() float64 { return d.memCap }
+
+// Prewarm stocks the device's kernel and chain pools so even the first
+// launches allocate nothing. Pool state never affects the virtual clock;
+// tests use Prewarm to pin that transparency.
+func (d *Device) Prewarm(kernels, chains int) {
+	for i := 0; i < kernels; i++ {
+		d.freeKernels = append(d.freeKernels, &kernel{})
+	}
+	for i := 0; i < chains; i++ {
+		d.freeChains = append(d.freeChains, &chain{})
+	}
+}
+
+// PooledKernels reports the number of recycled kernel objects waiting in
+// the device pool (diagnostics for pool-behavior tests).
+func (d *Device) PooledKernels() int { return len(d.freeKernels) }
 
 // EnableNoise turns on seeded lognormal work perturbation: each launch's
 // work is multiplied by exp(sigma·N(0,1)). sigma = 0 disables noise.
@@ -248,30 +307,110 @@ func (d *Device) Utilization() float64 {
 	return d.smTime / d.eng.Now()
 }
 
+// --- pools ---
+
+func (d *Device) getKernel() *kernel {
+	if n := len(d.freeKernels); n > 0 {
+		k := d.freeKernels[n-1]
+		d.freeKernels[n-1] = nil
+		d.freeKernels = d.freeKernels[:n-1]
+		return k
+	}
+	return &kernel{}
+}
+
+func (d *Device) putKernel(k *kernel) {
+	*k = kernel{}
+	d.freeKernels = append(d.freeKernels, k)
+}
+
+func (d *Device) getChain() *chain {
+	if n := len(d.freeChains); n > 0 {
+		c := d.freeChains[n-1]
+		d.freeChains[n-1] = nil
+		d.freeChains = d.freeChains[:n-1]
+		c.dev = d
+		return c
+	}
+	return &chain{dev: d}
+}
+
+func (d *Device) putChain(c *chain) {
+	*c = chain{}
+	d.freeChains = append(d.freeChains, c)
+}
+
+func (d *Device) getStall() *stalledLaunch {
+	if n := len(d.freeStalls); n > 0 {
+		s := d.freeStalls[n-1]
+		d.freeStalls[n-1] = nil
+		d.freeStalls = d.freeStalls[:n-1]
+		s.dev = d
+		return s
+	}
+	return &stalledLaunch{dev: d}
+}
+
+func (d *Device) putStall(s *stalledLaunch) {
+	*s = stalledLaunch{}
+	d.freeStalls = append(d.freeStalls, s)
+}
+
+// callFunc0 adapts a plain func() callback to a (fn, arg) pair; func values
+// are pointer-shaped, so the boxing does not allocate.
+func callFunc0(a any) { a.(func())() }
+
 // Launch begins executing spec. done, if non-nil, runs when the kernel
 // completes. Launch panics on an invalid spec: specs are produced by the
 // cost model, so an invalid one is a programming error.
 func (d *Device) Launch(spec KernelSpec, done func()) {
+	if done == nil {
+		d.launchArg(spec, nil, nil)
+		return
+	}
+	d.launchArg(spec, callFunc0, done)
+}
+
+// launchArg is the allocation-free launch primitive: fn(arg) runs when the
+// kernel completes.
+func (d *Device) launchArg(spec KernelSpec, fn func(any), arg any) {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
 	if d.launchStall > 0 {
 		// The stall defers the launch on the virtual clock; the stall in
 		// force at Launch time is the one paid, even if cleared meanwhile.
-		d.eng.Schedule(d.launchStall, func() { d.launchNow(spec, done) })
+		s := d.getStall()
+		s.spec = spec
+		s.fn = fn
+		s.arg = arg
+		d.eng.ScheduleArg(d.launchStall, fireStalledLaunch, s)
 		return
 	}
-	d.launchNow(spec, done)
+	d.launchNow(spec, fn, arg)
 }
 
-func (d *Device) launchNow(spec KernelSpec, done func()) {
+func fireStalledLaunch(a any) {
+	s := a.(*stalledLaunch)
+	d, spec, fn, arg := s.dev, s.spec, s.fn, s.arg
+	d.putStall(s)
+	d.launchNow(spec, fn, arg)
+}
+
+func (d *Device) launchNow(spec KernelSpec, fn func(any), arg any) {
 	d.advance()
 	w := spec.Work
 	if d.noise != nil {
 		w *= math.Exp(d.noiseSigma * d.noise.NormFloat64())
 	}
-	k := &kernel{spec: spec, seq: d.launched, start: d.eng.Now(), remaining: w, done: done}
-	d.running[k] = struct{}{}
+	k := d.getKernel()
+	k.spec = spec
+	k.seq = d.launched
+	k.start = d.eng.Now()
+	k.remaining = w
+	k.doneFn = fn
+	k.doneArg = arg
+	d.running = append(d.running, k) // ascending seq: launched is monotonic
 	d.launched++
 	d.reschedule()
 }
@@ -282,26 +421,57 @@ func (d *Device) launchNow(spec KernelSpec, done func()) {
 // completes immediately. RunChain returns without blocking; execution
 // proceeds on the virtual clock.
 func (d *Device) RunChain(specs []KernelSpec, done func()) {
-	i := 0
-	var next func()
-	next = func() {
-		if i == len(specs) {
-			if done != nil {
-				done()
-			}
-			return
-		}
-		spec := specs[i]
-		i++
-		d.eng.Schedule(d.profile.LaunchGap, func() {
-			d.Launch(spec, next)
-		})
+	if done == nil {
+		d.RunChainArg(specs, nil, nil)
+		return
 	}
-	next()
+	d.RunChainArg(specs, callFunc0, done)
+}
+
+// RunChainArg is the allocation-free variant of RunChain: the chain is
+// driven by a pooled cursor, and fn(arg) runs when the last kernel
+// finishes. The specs slice must stay unmodified until then.
+func (d *Device) RunChainArg(specs []KernelSpec, fn func(any), arg any) {
+	if len(specs) == 0 {
+		if fn != nil {
+			fn(arg)
+		}
+		return
+	}
+	c := d.getChain()
+	c.specs = specs
+	c.i = 0
+	c.doneFn = fn
+	c.doneArg = arg
+	d.eng.ScheduleArg(d.profile.LaunchGap, advanceChainLaunch, c)
+}
+
+// advanceChainLaunch fires after a launch gap: it launches the chain's
+// current kernel with the cursor itself as the completion callback.
+func advanceChainLaunch(a any) {
+	c := a.(*chain)
+	c.dev.launchArg(c.specs[c.i], advanceChainStep, c)
+}
+
+// advanceChainStep fires when a chain kernel completes: it either schedules
+// the next launch gap or retires the cursor and runs the chain's callback.
+func advanceChainStep(a any) {
+	c := a.(*chain)
+	c.i++
+	if c.i == len(c.specs) {
+		d, fn, arg := c.dev, c.doneFn, c.doneArg
+		d.putChain(c)
+		if fn != nil {
+			fn(arg)
+		}
+		return
+	}
+	c.dev.eng.ScheduleArg(c.dev.profile.LaunchGap, advanceChainLaunch, c)
 }
 
 // advance integrates kernel progress from lastUpdate to now at the current
-// (piecewise-constant) rates.
+// (piecewise-constant) rates. The resident slice is in launch order, so the
+// float accumulation into smTime is order-deterministic.
 func (d *Device) advance() {
 	now := d.eng.Now()
 	dt := now - d.lastUpdate
@@ -311,7 +481,7 @@ func (d *Device) advance() {
 	}
 	if len(d.running) > 0 {
 		d.busyTime += dt
-		for k := range d.running {
+		for _, k := range d.running {
 			k.remaining -= k.rate * dt
 			if k.remaining < 0 {
 				k.remaining = 0
@@ -326,19 +496,20 @@ func (d *Device) advance() {
 // kernel has finished at its completion event.
 const completionEps = 1e-9
 
+// fireCompletion dispatches the pooled completion event to its device.
+func fireCompletion(a any) { a.(*Device).onCompletion() }
+
 // reschedule recomputes rates for the resident set and re-arms the next
 // completion event.
 func (d *Device) reschedule() {
-	if d.completion != nil {
-		d.eng.Cancel(d.completion)
-		d.completion = nil
-	}
+	d.eng.Cancel(d.completion)
+	d.completion = sim.Handle{}
 	if len(d.running) == 0 {
 		return
 	}
 	d.computeRates()
 	eta := math.Inf(1)
-	for k := range d.running {
+	for _, k := range d.running {
 		t := k.remaining / k.rate
 		if t < eta {
 			eta = t
@@ -347,28 +518,47 @@ func (d *Device) reschedule() {
 	if eta < 0 {
 		eta = 0
 	}
-	d.completion = d.eng.Schedule(eta, d.onCompletion)
+	d.completion = d.eng.ScheduleArg(eta, fireCompletion, d)
 }
 
 // onCompletion retires every kernel whose work is exhausted, then recomputes
 // rates for the survivors. Completion callbacks run after the device state
-// is consistent so they may immediately launch new kernels.
+// is consistent so they may immediately launch new kernels; retired kernel
+// objects return to the pool one by one as their callbacks run, so a
+// callback that launches immediately reuses a just-retired kernel.
 func (d *Device) onCompletion() {
-	d.completion = nil
+	d.completion = sim.Handle{}
 	d.advance()
-	var finished []*kernel
-	for k := range d.running {
+	resident := d.running
+	keep := resident[:0]
+	finished := d.finished[:0]
+	for _, k := range resident {
 		if k.remaining <= completionEps {
 			finished = append(finished, k)
+		} else {
+			keep = append(keep, k)
 		}
 	}
-	for _, k := range finished {
-		delete(d.running, k)
+	for i := len(keep); i < len(resident); i++ {
+		resident[i] = nil
 	}
+	d.running = keep
+	d.finished = finished
 	d.reschedule()
 	// Callbacks run in launch order so simultaneous completions resolve
-	// deterministically regardless of map iteration order.
-	sort.Slice(finished, func(i, j int) bool { return finished[i].seq < finished[j].seq })
+	// deterministically. The resident slice is kept in launch order, so
+	// finished inherits it; the sort is a structural guard (O(n) on sorted
+	// input, allocation-free).
+	slices.SortFunc(finished, func(a, b *kernel) int {
+		switch {
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		default:
+			return 0
+		}
+	})
 	if d.tracer != nil {
 		now := d.eng.Now()
 		for _, k := range finished {
@@ -381,11 +571,15 @@ func (d *Device) onCompletion() {
 			})
 		}
 	}
-	for _, k := range finished {
-		if k.done != nil {
-			k.done()
+	for i, k := range finished {
+		fn, arg := k.doneFn, k.doneArg
+		finished[i] = nil
+		d.putKernel(k)
+		if fn != nil {
+			fn(arg)
 		}
 	}
+	d.finished = finished[:0]
 }
 
 // computeRates assigns each resident kernel its progress rate using max-min
@@ -395,25 +589,24 @@ func (d *Device) onCompletion() {
 //
 // A kernel whose demand is below the fair share receives its full demand
 // (low-occupancy kernels overlap for free); oversubscribed kernels split the
-// residual capacity equally.
+// residual capacity equally. All intermediate state lives on the device's
+// reusable scratch buffers.
 func (d *Device) computeRates() {
 	n := len(d.running)
-	kernels := make([]*kernel, 0, n)
-	for k := range d.running {
-		kernels = append(kernels, k)
+	d.smDemand = resizeFloats(d.smDemand, n)
+	d.memDemand = resizeFloats(d.memDemand, n)
+	d.smAlloc = resizeFloats(d.smAlloc, n)
+	d.memAlloc = resizeFloats(d.memAlloc, n)
+	for i, k := range d.running {
+		d.smDemand[i] = k.spec.SMFrac
+		d.memDemand[i] = k.spec.MemFrac
 	}
-	smDemand := make([]float64, n)
-	memDemand := make([]float64, n)
-	for i, k := range kernels {
-		smDemand[i] = k.spec.SMFrac
-		memDemand[i] = k.spec.MemFrac
-	}
-	smAlloc := maxMinShares(smDemand, d.smCap)
-	memAlloc := maxMinShares(memDemand, d.memCap*d.memDegrade)
-	for i, k := range kernels {
-		r := smAlloc[i] / k.spec.SMFrac
+	d.shareOrder = maxMinSharesInto(d.smAlloc, d.smDemand, d.smCap, d.shareOrder)
+	d.shareOrder = maxMinSharesInto(d.memAlloc, d.memDemand, d.memCap*d.memDegrade, d.shareOrder)
+	for i, k := range d.running {
+		r := d.smAlloc[i] / k.spec.SMFrac
 		if k.spec.MemFrac > 0 {
-			if mr := memAlloc[i] / k.spec.MemFrac; mr < r {
+			if mr := d.memAlloc[i] / k.spec.MemFrac; mr < r {
 				r = mr
 			}
 		}
@@ -431,15 +624,36 @@ func (d *Device) computeRates() {
 	}
 }
 
+// resizeFloats returns s resized to n, reusing the backing array when it is
+// large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
 // maxMinShares allocates capacity to demands by progressive filling
 // (water-filling): demands below the running fair share are fully granted;
-// the rest split the remainder equally. Zero demands receive zero.
+// the rest split the remainder equally. Zero demands receive zero. It is
+// the allocating convenience over maxMinSharesInto, used by tests.
 func maxMinShares(demands []float64, capacity float64) []float64 {
-	n := len(demands)
-	alloc := make([]float64, n)
-	order := make([]int, 0, n)
+	alloc := make([]float64, len(demands))
+	maxMinSharesInto(alloc, demands, capacity, nil)
+	return alloc
+}
+
+// maxMinSharesInto computes max-min shares into alloc (len(alloc) ==
+// len(demands)) using order as index scratch, and returns the (possibly
+// regrown) scratch for reuse. No allocation happens when the scratch has
+// capacity. The fill order is demand-ascending with index tiebreak, sorted
+// by an in-place insertion sort — deterministic and allocation-free (the
+// resident sets here are small).
+func maxMinSharesInto(alloc, demands []float64, capacity float64, order []int) []int {
+	order = order[:0]
 	var total float64
 	for i, dm := range demands {
+		alloc[i] = 0
 		if dm > 0 {
 			order = append(order, i)
 			total += dm
@@ -447,14 +661,17 @@ func maxMinShares(demands []float64, capacity float64) []float64 {
 	}
 	if total <= capacity {
 		copy(alloc, demands)
-		return alloc
+		return order
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if demands[order[a]] != demands[order[b]] {
-			return demands[order[a]] < demands[order[b]]
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if demands[a] < demands[b] || (demands[a] == demands[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = order[j], order[j-1]
 		}
-		return order[a] < order[b]
-	})
+	}
 	remaining := capacity
 	for pos, idx := range order {
 		left := len(order) - pos
@@ -467,7 +684,7 @@ func maxMinShares(demands []float64, capacity float64) []float64 {
 			remaining -= fair
 		}
 	}
-	return alloc
+	return order
 }
 
 // EnergyModel converts device activity into energy, exploiting the paper's

@@ -38,3 +38,33 @@ func BenchmarkCancel(b *testing.B) {
 		e.Cancel(ev)
 	}
 }
+
+func BenchmarkScheduleArgAndFire(b *testing.B) {
+	e := NewEngine()
+	nop := func(any) {}
+	e.ScheduleArg(1, nop, nil)
+	e.Run()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(1, nop, nil)
+		e.Step()
+	}
+}
+
+func BenchmarkScheduleArgHeapChurn(b *testing.B) {
+	// The 1024-pending steady-state shape of BenchmarkHeapChurn, on the
+	// allocation-free ScheduleArg path.
+	e := NewEngine()
+	nop := func(any) {}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1024; i++ {
+		e.ScheduleArg(rng.Float64()*100, nop, nil)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleArg(rng.Float64()*100, nop, nil)
+		e.Step()
+	}
+}

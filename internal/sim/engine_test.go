@@ -127,10 +127,10 @@ func TestCancel(t *testing.T) {
 	}
 }
 
-func TestCancelNilIsNoop(t *testing.T) {
+func TestCancelZeroHandleIsNoop(t *testing.T) {
 	e := NewEngine()
-	if e.Cancel(nil) {
-		t.Error("Cancel(nil) returned true")
+	if e.Cancel(Handle{}) {
+		t.Error("Cancel(Handle{}) returned true")
 	}
 }
 
@@ -146,7 +146,7 @@ func TestCancelFiredEventReturnsFalse(t *testing.T) {
 func TestCancelMiddleEventPreservesOrder(t *testing.T) {
 	e := NewEngine()
 	var fired []float64
-	evs := make([]*Event, 0, 5)
+	evs := make([]Handle, 0, 5)
 	for _, d := range []float64{1, 2, 3, 4, 5} {
 		d := d
 		evs = append(evs, e.Schedule(d, func() { fired = append(fired, d) }))
@@ -311,5 +311,209 @@ func TestNextAt(t *testing.T) {
 	e.Run()
 	if _, ok := e.NextAt(); ok {
 		t.Error("NextAt reported an event after the queue drained")
+	}
+}
+
+// --- Event-pool recycling ---
+
+func TestEventPoolReusesFiredEvents(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.Schedule(1, func() {})
+		e.Step()
+	}
+	// One event in flight at a time: after warm-up the pool serves every
+	// Schedule, so at most a couple of Event objects are ever allocated.
+	if e.AllocatedEvents() > 2 {
+		t.Errorf("AllocatedEvents = %d, want <= 2 (pool should recycle)", e.AllocatedEvents())
+	}
+	if e.FreeEvents() == 0 {
+		t.Error("FreeEvents = 0, want recycled events in the pool")
+	}
+}
+
+func TestCancelAfterFireIsStale(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(1, func() {})
+	e.Run()
+	if e.Cancel(h) {
+		t.Error("Cancel of a fired event's handle returned true")
+	}
+}
+
+func TestCancelAfterRecycleCannotKillNewIncarnation(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(1, func() {})
+	e.Run() // fires; the Event object returns to the pool
+	ran := false
+	fresh := e.Schedule(1, func() { ran = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("pool did not reuse the fired event object (alloced %d)", e.AllocatedEvents())
+	}
+	// The stale handle points at the same Event object but an older
+	// generation: it must not cancel the new incarnation.
+	if e.Cancel(stale) {
+		t.Error("stale handle canceled a recycled event")
+	}
+	e.Run()
+	if !ran {
+		t.Error("recycled event did not fire")
+	}
+	if e.Cancel(fresh) {
+		t.Error("fresh handle canceled after its event fired")
+	}
+}
+
+func TestCancelReturnsEventToPool(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(5, func() {})
+	free := e.FreeEvents()
+	if !e.Cancel(h) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.FreeEvents() != free+1 {
+		t.Errorf("FreeEvents = %d after Cancel, want %d", e.FreeEvents(), free+1)
+	}
+	if e.Cancel(h) {
+		t.Error("second Cancel returned true")
+	}
+}
+
+func TestCancelMidHeapRemoval(t *testing.T) {
+	// Cancel an event from the middle of a populated heap, then verify the
+	// remaining events still fire in time order and the canceled one never
+	// does — heap.Remove repair plus pool recycling must not corrupt order.
+	e := NewEngine()
+	var fired []float64
+	handles := make([]Handle, 0, 9)
+	for _, d := range []float64{9, 2, 7, 4, 5, 3, 8, 1, 6} {
+		d := d
+		handles = append(handles, e.Schedule(d, func() { fired = append(fired, d) }))
+	}
+	if !e.Cancel(handles[3]) { // t=4, interior heap node
+		t.Fatal("mid-heap Cancel returned false")
+	}
+	if !e.Cancel(handles[0]) { // t=9, near the bottom
+		t.Fatal("second mid-heap Cancel returned false")
+	}
+	e.Run()
+	want := []float64{1, 2, 3, 5, 6, 7, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired = %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %v, want %v", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestHandleActive(t *testing.T) {
+	e := NewEngine()
+	h := e.Schedule(1, func() {})
+	if !h.Active() {
+		t.Error("handle inactive while pending")
+	}
+	e.Run()
+	if h.Active() {
+		t.Error("handle active after firing")
+	}
+	if (Handle{}).Active() {
+		t.Error("zero handle reports active")
+	}
+}
+
+func TestScheduleArgOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	push := func(a any) { got = append(got, a.(int)) }
+	e.ScheduleArg(2, push, 1)
+	e.ScheduleArgAt(1, push, 0)
+	e.ScheduleArg(2, push, 2) // same instant as the first: scheduling order
+	e.Run()
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("got %v, want [0 1 2]", got)
+	}
+}
+
+func TestScheduleArgNilFnPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("did not panic")
+		}
+	}()
+	e.ScheduleArg(1, nil, 7)
+}
+
+// Steady-state Schedule/fire and Schedule/Cancel must be allocation-free:
+// the pool absorbs every event, and func-value arguments box without
+// allocating.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	nop := func(any) {}
+	// Warm the pool past the peak population used below.
+	for i := 0; i < 8; i++ {
+		e.ScheduleArg(1, nop, nil)
+	}
+	e.Run()
+	if allocs := testing.AllocsPerRun(100, func() {
+		e.ScheduleArg(1, nop, nil)
+		e.Step()
+	}); allocs != 0 {
+		t.Errorf("Schedule/fire = %v allocs/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		h := e.ScheduleArg(1, nop, nil)
+		e.Cancel(h)
+	}); allocs != 0 {
+		t.Errorf("Schedule/Cancel = %v allocs/op, want 0", allocs)
+	}
+}
+
+// Pool state must be invisible to the virtual clock: a prewarmed (or
+// churned) engine replays an identical workload with identical firing
+// times as a cold one.
+func TestPoolTransparency(t *testing.T) {
+	replay := func(e *Engine) []Time {
+		base := e.Now()
+		var fired []Time
+		rng := rand.New(rand.NewSource(42))
+		record := func(any) { fired = append(fired, e.Now()-base) }
+		var handles []Handle
+		for i := 0; i < 200; i++ {
+			handles = append(handles, e.ScheduleArg(rng.Float64()*50, record, nil))
+		}
+		for i := 0; i < len(handles); i += 3 {
+			e.Cancel(handles[i])
+		}
+		e.Run()
+		return fired
+	}
+
+	cold := replay(NewEngine())
+
+	warm := NewEngine()
+	warm.Prewarm(64)
+	prewarmed := replay(warm)
+
+	// Grow and churn the pool organically without advancing the clock, so
+	// the replayed times stay exactly comparable to the cold engine's.
+	churned := NewEngine()
+	for i := 0; i < 500; i++ {
+		churned.Schedule(0, func() {})
+	}
+	churned.Run()
+	churnedRun := replay(churned)
+
+	for name, got := range map[string][]Time{"prewarmed": prewarmed, "churned": churnedRun} {
+		if len(got) != len(cold) {
+			t.Fatalf("%s fired %d events, cold fired %d", name, len(got), len(cold))
+		}
+		for i := range cold {
+			if got[i] != cold[i] {
+				t.Fatalf("%s diverged at event %d: %v vs cold %v", name, i, got[i], cold[i])
+			}
+		}
 	}
 }
